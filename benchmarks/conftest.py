@@ -1,0 +1,19 @@
+"""Bench-session hooks: replay the reproduced figure/table text at the end.
+
+pytest captures per-test output, so the tables rendered by
+``harness.print_table`` would otherwise be invisible in a default
+``pytest benchmarks/ --benchmark-only`` run; this hook prints every rendered
+table in the terminal summary, where it lands in the bench log.
+"""
+
+from harness import RENDERED_TABLES
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not RENDERED_TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "reproduced figures and tables")
+    for block in RENDERED_TABLES:
+        for line in block.splitlines():
+            terminalreporter.write_line(line)

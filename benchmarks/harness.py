@@ -1,0 +1,194 @@
+"""Shared helpers for the per-figure benchmark harnesses.
+
+Every experiment in the paper's evaluation compares GUOQ against one or more
+baseline tools on a suite of benchmark circuits and reports, per benchmark,
+a reduction metric (two-qubit gates, T gates) and/or the circuit fidelity.
+This module provides the scaled-down equivalents:
+
+* :func:`evaluate_tools` — run GUOQ and a list of baselines on a lowered
+  suite and collect per-benchmark metrics;
+* :func:`better_match_worse` — the summary counts shown under every plot in
+  the paper (how many benchmarks GUOQ wins / ties / loses);
+* :func:`print_table` — render rows the way the paper's tables/plots report
+  them, so the bench output can be compared side by side with the paper.
+
+Budgets are deliberately tiny (seconds per circuit instead of the paper's one
+hour) so the whole harness runs on a laptop; EXPERIMENTS.md records how the
+observed shapes relate to the published ones.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from repro.baselines import make_baseline
+from repro.circuits import Circuit, gate_reduction
+from repro.core import default_objective, optimize_circuit
+from repro.gatesets import get_gate_set
+from repro.noise import device_for_gate_set
+from repro.suite import lowered_suite
+
+#: per-circuit wall-clock budget for the search-based optimizers (seconds)
+DEFAULT_TIME_LIMIT = 2.0
+#: suite scale used by the bench harness; "small" gives a closer match to the
+#: paper at ~10x the runtime
+DEFAULT_SCALE = "tiny"
+DEFAULT_SEED = 0
+DEFAULT_EPSILON = 1e-6
+
+
+@dataclass
+class ToolRun:
+    """Metrics of one optimizer on one benchmark circuit."""
+
+    benchmark: str
+    tool: str
+    two_qubit_reduction: float
+    t_reduction: float
+    total_reduction: float
+    fidelity: float
+    optimized_two_qubit: int
+    optimized_t: int
+    optimized_total: int
+
+
+@dataclass
+class ComparisonResult:
+    """All runs of an experiment, grouped by tool."""
+
+    gate_set: str
+    runs: dict[str, list[ToolRun]] = field(default_factory=dict)
+
+    def tools(self) -> list[str]:
+        return [tool for tool in self.runs if tool != "guoq"]
+
+
+def _metrics(name: str, tool: str, original: Circuit, optimized: Circuit, device) -> ToolRun:
+    return ToolRun(
+        benchmark=name,
+        tool=tool,
+        two_qubit_reduction=gate_reduction(original, optimized, "2q"),
+        t_reduction=gate_reduction(original, optimized, "t"),
+        total_reduction=gate_reduction(original, optimized, "total"),
+        fidelity=device.circuit_fidelity(optimized),
+        optimized_two_qubit=optimized.two_qubit_count(),
+        optimized_t=optimized.t_count(),
+        optimized_total=optimized.size(),
+    )
+
+
+def evaluate_tools(
+    gate_set_name: str,
+    tools: list[str],
+    scale: str = DEFAULT_SCALE,
+    time_limit: float = DEFAULT_TIME_LIMIT,
+    objective_mode: str = "nisq",
+    seed: int = DEFAULT_SEED,
+    max_cases: "int | None" = None,
+    include_guoq: bool = True,
+) -> ComparisonResult:
+    """Run GUOQ plus the named baseline tools over the lowered suite."""
+    gate_set = get_gate_set(gate_set_name)
+    device = device_for_gate_set(gate_set_name)
+    objective = default_objective(gate_set, objective_mode)
+    cases = lowered_suite(gate_set, scale)
+    if max_cases is not None:
+        cases = cases[:max_cases]
+
+    result = ComparisonResult(gate_set=gate_set_name)
+    for case in cases:
+        if include_guoq:
+            guoq_run = optimize_circuit(
+                case.circuit,
+                gate_set,
+                objective=objective,
+                epsilon_budget=DEFAULT_EPSILON,
+                time_limit=time_limit,
+                seed=seed,
+                synthesis_time_budget=min(1.0, time_limit / 2),
+            )
+            result.runs.setdefault("guoq", []).append(
+                _metrics(case.name, "guoq", case.circuit, guoq_run.best_circuit, device)
+            )
+        for tool in tools:
+            optimizer = make_baseline(
+                tool,
+                gate_set,
+                cost=objective,
+                time_limit=time_limit,
+                epsilon=DEFAULT_EPSILON,
+                seed=seed,
+            )
+            optimized = optimizer.optimize(case.circuit)
+            result.runs.setdefault(tool, []).append(
+                _metrics(case.name, tool, case.circuit, optimized, device)
+            )
+    return result
+
+
+def better_match_worse(
+    result: ComparisonResult, tool: str, metric: str = "two_qubit_reduction", tolerance: float = 1e-9
+) -> tuple[int, int, int]:
+    """GUOQ-vs-tool summary counts, as under each plot in Figs. 8–12."""
+    guoq_runs = {run.benchmark: run for run in result.runs["guoq"]}
+    better = match = worse = 0
+    for run in result.runs[tool]:
+        guoq_value = getattr(guoq_runs[run.benchmark], metric)
+        tool_value = getattr(run, metric)
+        if guoq_value > tool_value + tolerance:
+            better += 1
+        elif guoq_value < tool_value - tolerance:
+            worse += 1
+        else:
+            match += 1
+    return better, match, worse
+
+
+def average(result: ComparisonResult, tool: str, metric: str) -> float:
+    """Mean of a metric over all benchmarks for one tool."""
+    runs = result.runs[tool]
+    return sum(getattr(run, metric) for run in runs) / len(runs)
+
+
+#: Rendered tables accumulated during a bench session.  The conftest in this
+#: directory replays them in the terminal summary so they appear in the bench
+#: log even though pytest captures per-test output.
+RENDERED_TABLES: list[str] = []
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render an aligned text table; shown in the pytest terminal summary."""
+    widths = [
+        max(len(str(headers[i])), max((len(str(row[i])) for row in rows), default=0))
+        for i in range(len(headers))
+    ]
+    header_line = "  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers))
+    lines = [f"\n=== {title} ===", header_line, "-" * len(header_line)]
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    block = "\n".join(lines)
+    RENDERED_TABLES.append(block)
+    print(block, file=sys.stderr)
+
+
+def summary_rows(result: ComparisonResult, metric: str) -> list[list]:
+    """One row per tool: better/match/worse vs GUOQ plus mean metric values."""
+    rows = []
+    for tool in result.tools():
+        better, match, worse = better_match_worse(result, tool, metric)
+        rows.append(
+            [
+                tool,
+                better,
+                match,
+                worse,
+                f"{average(result, 'guoq', metric):.3f}",
+                f"{average(result, tool, metric):.3f}",
+            ]
+        )
+    return rows
+
+
+def percentage(value: float) -> str:
+    return f"{100.0 * value:.1f}%"

@@ -1,0 +1,51 @@
+"""Fig. 1: headline summary — GUOQ vs state-of-the-art, 2q reduction, ibmq20.
+
+The paper reports, for each tool, the percentage of benchmarks on which GUOQ
+is at least as good (better or matching) with respect to two-qubit-gate
+reduction on the ibmq20 gate set.  This bench regenerates those percentages
+on the scaled-down suite.
+"""
+
+import pytest
+
+from harness import (
+    DEFAULT_SEED,
+    better_match_worse,
+    evaluate_tools,
+    percentage,
+    print_table,
+)
+
+TOOLS = ["qiskit", "tket", "voqc", "bqskit", "queso", "quartz", "quarl"]
+
+
+def _run():
+    result = evaluate_tools(
+        "ibmq20",
+        TOOLS,
+        objective_mode="nisq",
+        time_limit=1.5,
+        max_cases=8,
+        seed=DEFAULT_SEED,
+    )
+    rows = []
+    for tool in TOOLS:
+        better, match, worse = better_match_worse(result, tool, "two_qubit_reduction")
+        total = better + match + worse
+        rows.append([tool, better, match, worse, percentage((better + match) / total)])
+    print_table(
+        "Fig. 1 — GUOQ vs state-of-the-art (ibmq20, 2q gate reduction)",
+        ["tool", "GUOQ better", "match", "GUOQ worse", "better-or-match"],
+        rows,
+    )
+    return result
+
+
+@pytest.mark.benchmark(group="fig01")
+def test_fig01_summary(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for tool in TOOLS:
+        better, match, worse = better_match_worse(result, tool, "two_qubit_reduction")
+        # Headline shape: GUOQ is at least as good as every tool on a clear
+        # majority of benchmarks.
+        assert better + match >= worse, tool

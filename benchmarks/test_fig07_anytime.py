@@ -1,0 +1,72 @@
+"""Fig. 7: anytime behaviour — best 2q count over time for three configurations.
+
+The paper plots, for barenco_tof_10 and qft_20, the two-qubit count of the
+best solution over an hour of search using rewrite rules only, resynthesis
+only, and both combined.  This bench reproduces the same three traces on
+scaled-down circuits and a seconds-long budget, and reports the final counts.
+"""
+
+import pytest
+
+from harness import print_table
+from repro.core import optimize_circuit
+from repro.gatesets import IBMQ20, decompose_to_gate_set
+from repro.suite import barenco_toffoli, qft
+
+TIME_LIMIT = 6.0
+CONFIGS = {
+    "combined": dict(include_rewrites=True, include_resynthesis=True),
+    "rewrite only": dict(include_rewrites=True, include_resynthesis=False),
+    "resynth only": dict(include_rewrites=False, include_resynthesis=True),
+}
+
+
+def _run():
+    circuits = {
+        "barenco_tof_4": decompose_to_gate_set(barenco_toffoli(4), IBMQ20),
+        "qft_6": decompose_to_gate_set(qft(6), IBMQ20),
+    }
+    rows = []
+    traces = {}
+    for name, circuit in circuits.items():
+        for label, flags in CONFIGS.items():
+            result = optimize_circuit(
+                circuit,
+                IBMQ20,
+                objective="2q",
+                time_limit=TIME_LIMIT,
+                seed=0,
+                synthesis_time_budget=1.0,
+                **flags,
+            )
+            traces[(name, label)] = [
+                (round(point.elapsed, 2), point.two_qubit_count) for point in result.history
+            ]
+            rows.append(
+                [
+                    name,
+                    label,
+                    circuit.two_qubit_count(),
+                    result.best_circuit.two_qubit_count(),
+                    len(result.history) - 1,
+                ]
+            )
+    print_table(
+        "Fig. 7 — anytime 2q count (rewrite only vs resynth only vs combined)",
+        ["benchmark", "configuration", "2q before", "2q after", "improvements"],
+        rows,
+    )
+    return traces, rows
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_anytime_traces(benchmark):
+    traces, rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    # Each trace is monotonically non-increasing in the best 2q count.
+    for trace in traces.values():
+        counts = [count for _, count in trace]
+        assert counts == sorted(counts, reverse=True)
+    # The combined configuration is never worse than rewrite-only.
+    finals = {(row[0], row[1]): row[3] for row in rows}
+    for name in ("barenco_tof_4", "qft_6"):
+        assert finals[(name, "combined")] <= finals[(name, "rewrite only")]

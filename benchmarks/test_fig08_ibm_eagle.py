@@ -1,0 +1,42 @@
+"""Fig. 8: GUOQ vs state-of-the-art on the ibm-eagle gate set.
+
+Reports per-tool better/match/worse counts for both metrics used in the
+paper: two-qubit-gate reduction and circuit fidelity.
+"""
+
+import pytest
+
+from harness import better_match_worse, evaluate_tools, print_table, summary_rows
+
+TOOLS = ["qiskit", "tket", "voqc", "bqskit", "quartz", "quarl"]
+
+
+def _run():
+    result = evaluate_tools(
+        "ibm-eagle",
+        TOOLS,
+        objective_mode="nisq",
+        time_limit=1.5,
+        max_cases=8,
+    )
+    print_table(
+        "Fig. 8 (top) — 2q gate reduction on ibm-eagle",
+        ["tool", "GUOQ better", "match", "GUOQ worse", "GUOQ mean", "tool mean"],
+        summary_rows(result, "two_qubit_reduction"),
+    )
+    print_table(
+        "Fig. 8 (bottom) — fidelity on ibm-eagle",
+        ["tool", "GUOQ better", "match", "GUOQ worse", "GUOQ mean", "tool mean"],
+        summary_rows(result, "fidelity"),
+    )
+    return result
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_ibm_eagle(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for tool in TOOLS:
+        better, match, worse = better_match_worse(result, tool, "two_qubit_reduction")
+        assert better + match >= worse, tool
+        better_f, match_f, worse_f = better_match_worse(result, tool, "fidelity")
+        assert better_f + match_f >= worse_f, tool

@@ -1,0 +1,36 @@
+"""Fig. 9: GUOQ vs state-of-the-art on the ionq (trapped-ion) gate set."""
+
+import pytest
+
+from harness import better_match_worse, evaluate_tools, print_table, summary_rows
+
+TOOLS = ["qiskit", "bqskit", "queso"]
+
+
+def _run():
+    result = evaluate_tools(
+        "ionq",
+        TOOLS,
+        objective_mode="nisq",
+        time_limit=1.5,
+        max_cases=8,
+    )
+    print_table(
+        "Fig. 9 (top) — 2q gate reduction on ionq",
+        ["tool", "GUOQ better", "match", "GUOQ worse", "GUOQ mean", "tool mean"],
+        summary_rows(result, "two_qubit_reduction"),
+    )
+    print_table(
+        "Fig. 9 (bottom) — fidelity on ionq",
+        ["tool", "GUOQ better", "match", "GUOQ worse", "GUOQ mean", "tool mean"],
+        summary_rows(result, "fidelity"),
+    )
+    return result
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_ionq(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for tool in TOOLS:
+        better, match, worse = better_match_worse(result, tool, "fidelity")
+        assert better + match >= worse, tool

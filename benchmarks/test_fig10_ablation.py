@@ -1,0 +1,65 @@
+"""Fig. 10 (Q2): effect of combining rewriting and resynthesis on ibmq20.
+
+GUOQ with the full transformation set is compared against GUOQ-REWRITE
+(rules only) and GUOQ-RESYNTH (resynthesis only).
+"""
+
+import pytest
+
+from harness import print_table
+from repro.core import default_objective, optimize_circuit
+from repro.gatesets import get_gate_set
+from repro.suite import lowered_suite
+
+CONFIGS = {
+    "guoq": dict(include_rewrites=True, include_resynthesis=True),
+    "guoq-rewrite": dict(include_rewrites=True, include_resynthesis=False),
+    "guoq-resynth": dict(include_rewrites=False, include_resynthesis=True),
+}
+TIME_LIMIT = 1.5
+
+
+def _run():
+    gate_set = get_gate_set("ibmq20")
+    objective = default_objective(gate_set, "nisq")
+    cases = lowered_suite(gate_set, "tiny")[:8]
+    per_config: dict[str, dict[str, float]] = {label: {} for label in CONFIGS}
+    for case in cases:
+        for label, flags in CONFIGS.items():
+            result = optimize_circuit(
+                case.circuit,
+                gate_set,
+                objective=objective,
+                time_limit=TIME_LIMIT,
+                seed=0,
+                synthesis_time_budget=0.75,
+                **flags,
+            )
+            reduction = 1.0 - result.best_circuit.two_qubit_count() / max(
+                1, case.circuit.two_qubit_count()
+            )
+            per_config[label][case.name] = reduction
+    rows = [
+        [case, *(f"{per_config[label][case]:.3f}" for label in CONFIGS)]
+        for case in per_config["guoq"]
+    ]
+    print_table(
+        "Fig. 10 — 2q reduction: GUOQ vs rewrite-only vs resynth-only (ibmq20)",
+        ["benchmark", *CONFIGS.keys()],
+        rows,
+    )
+    return per_config
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_ablation(benchmark):
+    per_config = benchmark.pedantic(_run, rounds=1, iterations=1)
+    benchmarks = list(per_config["guoq"])
+    # The combined configuration is at least as good as each ablation on a
+    # majority of benchmarks (Q2 summary).
+    for ablation in ("guoq-rewrite", "guoq-resynth"):
+        at_least = sum(
+            per_config["guoq"][name] >= per_config[ablation][name] - 1e-9
+            for name in benchmarks
+        )
+        assert at_least >= len(benchmarks) / 2, ablation

@@ -1,0 +1,62 @@
+"""Fig. 11 (Q3): how to combine rewriting and resynthesis.
+
+GUOQ's tight random interleaving is compared against the two sequential
+orderings (GUOQ-SEQ) and the beam-search instantiation (GUOQ-BEAM) on the
+ibmq20 gate set, with the same transformation set for every search algorithm.
+"""
+
+import pytest
+
+from harness import print_table
+from repro.baselines import GuoqSequentialOptimizer, guoq_beam_optimizer
+from repro.core import default_objective, default_transformations, optimize_circuit
+from repro.gatesets import get_gate_set
+from repro.suite import lowered_suite
+
+TIME_LIMIT = 1.5
+
+
+def _run():
+    gate_set = get_gate_set("ibmq20")
+    objective = default_objective(gate_set, "nisq")
+    cases = lowered_suite(gate_set, "tiny")[:6]
+    results: dict[str, dict[str, int]] = {}
+    for case in cases:
+        transformations = default_transformations(
+            gate_set, rng=0, synthesis_time_budget=0.5
+        )
+        guoq_run = optimize_circuit(
+            case.circuit,
+            gate_set,
+            objective=objective,
+            time_limit=TIME_LIMIT,
+            seed=0,
+            synthesis_time_budget=0.5,
+        )
+        variants = {
+            "guoq": guoq_run.best_circuit,
+            "seq-rewrite-resynth": GuoqSequentialOptimizer(
+                transformations, cost=objective, order="rewrite-resynth",
+                time_limit=TIME_LIMIT, seed=0,
+            ).optimize(case.circuit),
+            "seq-resynth-rewrite": GuoqSequentialOptimizer(
+                transformations, cost=objective, order="resynth-rewrite",
+                time_limit=TIME_LIMIT, seed=0,
+            ).optimize(case.circuit),
+            "guoq-beam": guoq_beam_optimizer(
+                transformations, cost=objective, beam_width=8, time_limit=TIME_LIMIT, seed=0
+            ).optimize(case.circuit),
+        }
+        results[case.name] = {label: circuit.two_qubit_count() for label, circuit in variants.items()}
+    labels = ["guoq", "seq-rewrite-resynth", "seq-resynth-rewrite", "guoq-beam"]
+    rows = [[name, *(counts[label] for label in labels)] for name, counts in results.items()]
+    print_table("Fig. 11 — final 2q count per search algorithm (ibmq20)", ["benchmark", *labels], rows)
+    return results
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_search_algorithms(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for label in ("seq-rewrite-resynth", "seq-resynth-rewrite", "guoq-beam"):
+        at_least = sum(counts["guoq"] <= counts[label] for counts in results.values())
+        assert at_least >= len(results) / 2, label

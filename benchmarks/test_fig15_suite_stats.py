@@ -1,0 +1,46 @@
+"""Fig. 15 (Appendix B): total gate counts of the benchmark suite per gate set."""
+
+import math
+
+import pytest
+
+from harness import print_table
+from repro.gatesets import ALL_GATE_SETS
+from repro.suite import lowered_suite
+
+
+def _run():
+    histograms = {}
+    rows = []
+    for name in sorted(ALL_GATE_SETS):
+        cases = lowered_suite(name, "tiny")
+        sizes = [case.size for case in cases]
+        buckets: dict[int, int] = {}
+        for size in sizes:
+            bucket = int(math.log10(max(size, 1)))
+            buckets[bucket] = buckets.get(bucket, 0) + 1
+        histograms[name] = buckets
+        rows.append(
+            [
+                name,
+                len(cases),
+                min(sizes),
+                max(sizes),
+                int(sum(sizes) / len(sizes)),
+                " ".join(f"10^{b}:{c}" for b, c in sorted(buckets.items())),
+            ]
+        )
+    print_table(
+        "Fig. 15 — benchmark total gate counts per gate set",
+        ["gate set", "circuits", "min", "max", "mean", "log10 histogram"],
+        rows,
+    )
+    return histograms
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_suite_statistics(benchmark):
+    histograms = benchmark.pedantic(_run, rounds=1, iterations=1)
+    assert set(histograms) == set(ALL_GATE_SETS)
+    for buckets in histograms.values():
+        assert sum(buckets.values()) >= 8

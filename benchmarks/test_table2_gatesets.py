@@ -1,0 +1,42 @@
+"""Table 2: the evaluated gate sets and the cost of lowering into each."""
+
+import pytest
+
+from harness import print_table
+from repro.gatesets import ALL_GATE_SETS, decompose_to_gate_set
+from repro.suite import qft, toffoli_chain
+
+
+def _run():
+    rows = []
+    reference = {"qft_5": qft(5), "tof_5": toffoli_chain(3)}
+    for name, gate_set in sorted(ALL_GATE_SETS.items()):
+        lowered_counts = {}
+        for ref_name, circuit in reference.items():
+            try:
+                lowered = decompose_to_gate_set(circuit, gate_set)
+                lowered_counts[ref_name] = lowered.size()
+            except Exception:
+                lowered_counts[ref_name] = "n/a"
+        rows.append(
+            [
+                name,
+                ",".join(sorted(gate_set.gates - {"id"})),
+                gate_set.architecture,
+                "continuous" if gate_set.parameterized else "finite",
+                lowered_counts["qft_5"],
+                lowered_counts["tof_5"],
+            ]
+        )
+    print_table(
+        "Table 2 — gate sets",
+        ["gate set", "gates", "architecture", "kind", "qft_5 size", "tof_5 size"],
+        rows,
+    )
+    return rows
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_gate_sets(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    assert len(rows) == 5

@@ -1,0 +1,47 @@
+"""FTQC scenario: reduce T count (then CX count) on Clifford+T circuits.
+
+Reproduces the Q4 pipeline of the paper on a multi-controlled Toffoli and an
+adder: first the phase-polynomial optimizer (the PyZX stand-in) reduces T
+gates, then GUOQ is run on its output to reduce CX gates without increasing
+the T count (Fig. 14).
+
+Run with::
+
+    python examples/ftqc_t_count.py
+"""
+
+from repro import decompose_to_gate_set, get_gate_set, optimize_circuit
+from repro.baselines import PhasePolynomialOptimizer
+from repro.suite import barenco_toffoli, vbe_adder
+
+
+def report(label: str, circuit) -> None:
+    print(f"  {label:<22s} total {circuit.size():4d}   T {circuit.t_count():3d}   CX {circuit.two_qubit_count():3d}")
+
+
+def main() -> None:
+    gate_set = get_gate_set("clifford+t")
+    pyzx_proxy = PhasePolynomialOptimizer()
+
+    for raw in (barenco_toffoli(4), vbe_adder(2)):
+        circuit = decompose_to_gate_set(raw, gate_set)
+        print(f"\n== {raw.name}")
+        report("input", circuit)
+
+        # Step 1: dedicated T-count reduction (PyZX stand-in).
+        after_phase_poly = pyzx_proxy.optimize(circuit)
+        report("phase-polynomial", after_phase_poly)
+
+        # Step 2: GUOQ with the FTQC objective (2*T + CX) on the result.
+        result = optimize_circuit(
+            after_phase_poly,
+            gate_set,
+            objective="ftqc",
+            time_limit=8.0,
+            seed=0,
+        )
+        report("phase-poly + GUOQ", result.best_circuit)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim so that editable installs work without the ``wheel`` package.
+
+The offline environment used for this reproduction lacks ``wheel``, which the
+PEP 660 editable-install path requires; providing ``setup.py`` lets pip fall
+back to the legacy ``setup.py develop`` route.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

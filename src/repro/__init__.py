@@ -1,0 +1,72 @@
+"""repro — a reproduction of "Optimizing Quantum Circuits, Fast and Slow" (ASPLOS 2025).
+
+The package implements GUOQ — a unified framework combining fast rewrite
+rules with slow unitary resynthesis under a randomized search — together with
+every substrate it needs: a circuit IR, gate sets and transpilation, rewrite
+rule libraries, numerical and search-based unitary synthesis, noise models,
+baseline optimizers, and the paper's benchmark suite.
+
+Quick start::
+
+    from repro import Circuit, get_gate_set, decompose_to_gate_set, optimize_circuit
+    from repro.suite import qft
+
+    gate_set = get_gate_set("ibm-eagle")
+    circuit = decompose_to_gate_set(qft(6), gate_set)
+    result = optimize_circuit(circuit, gate_set, objective="2q", time_limit=5.0, seed=0)
+    print(result.best_circuit.two_qubit_count(), "of", circuit.two_qubit_count())
+"""
+
+from repro.circuits import (
+    Circuit,
+    Instruction,
+    circuit_distance,
+    circuits_equivalent,
+    gate_reduction,
+)
+from repro.core import (
+    GuoqConfig,
+    GuoqOptimizer,
+    GuoqResult,
+    NegativeLogFidelity,
+    TCount,
+    TwoQubitGateCount,
+    WeightedGateCount,
+    default_objective,
+    default_transformations,
+    guoq,
+    optimize_circuit,
+)
+from repro.gatesets import (
+    ALL_GATE_SETS,
+    decompose_to_gate_set,
+    get_gate_set,
+)
+from repro.noise import DeviceModel, device_for_gate_set
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_GATE_SETS",
+    "Circuit",
+    "DeviceModel",
+    "GuoqConfig",
+    "GuoqOptimizer",
+    "GuoqResult",
+    "Instruction",
+    "NegativeLogFidelity",
+    "TCount",
+    "TwoQubitGateCount",
+    "WeightedGateCount",
+    "circuit_distance",
+    "circuits_equivalent",
+    "decompose_to_gate_set",
+    "default_objective",
+    "default_transformations",
+    "device_for_gate_set",
+    "gate_reduction",
+    "get_gate_set",
+    "guoq",
+    "optimize_circuit",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Baseline optimizers: stand-ins for the paper's comparison tools (Table 3)."""
+
+from repro.baselines.base import BaselineOptimizer
+from repro.baselines.beam_search import BeamSearchOptimizer
+from repro.baselines.fixed_passes import FixedPassOptimizer
+from repro.baselines.guoq_variants import GuoqSequentialOptimizer, guoq_beam_optimizer
+from repro.baselines.lookahead import LookaheadRewriteOptimizer
+from repro.baselines.partition_resynth import PartitionResynthOptimizer
+from repro.baselines.phase_poly import PhasePolynomialOptimizer
+from repro.baselines.registry import AVAILABLE_TOOLS, make_baseline
+
+__all__ = [
+    "AVAILABLE_TOOLS",
+    "BaselineOptimizer",
+    "BeamSearchOptimizer",
+    "FixedPassOptimizer",
+    "GuoqSequentialOptimizer",
+    "LookaheadRewriteOptimizer",
+    "PartitionResynthOptimizer",
+    "PhasePolynomialOptimizer",
+    "guoq_beam_optimizer",
+    "make_baseline",
+]

@@ -1,0 +1,23 @@
+"""Common interface for baseline optimizers (Table 3)."""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+
+
+class BaselineOptimizer:
+    """A circuit optimizer with a single ``optimize`` entry point.
+
+    Baselines mirror the external tools of Table 3; each returns a circuit in
+    the same gate set as its input and never exceeds its configured error
+    tolerance (exact ``0`` for rewrite-only tools).
+    """
+
+    name: str = "baseline"
+
+    def optimize(self, circuit: Circuit) -> Circuit:
+        """Return an optimized version of ``circuit``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

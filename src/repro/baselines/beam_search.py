@@ -1,0 +1,102 @@
+"""Beam-search superoptimizer: the QUESO / Quartz (MaxBeam) stand-in.
+
+The search maintains a bounded priority queue of candidate circuits.  In each
+round every transformation is applied to every candidate; the resulting
+circuits are pushed into the queue, which is then truncated to the beam
+width.  This is the "consider many candidates" alternative to GUOQ's single
+randomized candidate, and exhibits the failure modes discussed in Q3: the
+queue saturates with near-identical candidates and progress per unit time is
+slower.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import numpy as np
+
+from repro.baselines.base import BaselineOptimizer
+from repro.circuits.circuit import Circuit
+from repro.core.objectives import CostFunction, TwoQubitGateCount
+from repro.core.transformations import Transformation
+from repro.utils.rng import ensure_rng
+
+
+class BeamSearchOptimizer(BaselineOptimizer):
+    """Bounded-width best-first search over transformation applications."""
+
+    def __init__(
+        self,
+        transformations: list[Transformation],
+        cost: "CostFunction | None" = None,
+        beam_width: int = 8,
+        epsilon_budget: float = 1e-6,
+        time_limit: float = 10.0,
+        max_rounds: "int | None" = None,
+        seed: "int | None" = None,
+    ) -> None:
+        if not transformations:
+            raise ValueError("beam search needs at least one transformation")
+        self.transformations = list(transformations)
+        self.cost = cost if cost is not None else TwoQubitGateCount()
+        self.beam_width = beam_width
+        self.epsilon_budget = epsilon_budget
+        self.time_limit = time_limit
+        self.max_rounds = max_rounds
+        self.seed = seed
+        self.name = f"beam_search[w={beam_width}]"
+
+    def optimize(self, circuit: Circuit) -> Circuit:
+        rng = ensure_rng(self.seed)
+        start = time.monotonic()
+        counter = itertools.count()
+
+        # Beam entries: (cost, tiebreaker, circuit, accumulated_epsilon).
+        beam: list[tuple[float, int, Circuit, float]] = [
+            (self.cost(circuit), next(counter), circuit, 0.0)
+        ]
+        best_circuit = circuit
+        best_cost = beam[0][0]
+        seen: set[tuple] = {self._fingerprint(circuit)}
+
+        rounds = 0
+        while True:
+            if time.monotonic() - start > self.time_limit:
+                break
+            if self.max_rounds is not None and rounds >= self.max_rounds:
+                break
+            rounds += 1
+            candidates: list[tuple[float, int, Circuit, float]] = []
+            for cost_value, _, candidate, error in beam:
+                for transformation in self.transformations:
+                    if time.monotonic() - start > self.time_limit:
+                        break
+                    if error + transformation.epsilon > self.epsilon_budget:
+                        continue
+                    result = transformation.apply(candidate, rng)
+                    if result is None:
+                        continue
+                    new_error = error + result.charged_epsilon
+                    new_cost = self.cost(result.circuit)
+                    fingerprint = self._fingerprint(result.circuit)
+                    if fingerprint in seen:
+                        continue
+                    seen.add(fingerprint)
+                    candidates.append((new_cost, next(counter), result.circuit, new_error))
+                    if new_cost < best_cost:
+                        best_cost = new_cost
+                        best_circuit = result.circuit
+            if not candidates:
+                break
+            merged = sorted(beam + candidates, key=lambda item: (item[0], item[1]))
+            beam = merged[: self.beam_width]
+        return best_circuit
+
+    @staticmethod
+    def _fingerprint(circuit: Circuit) -> tuple:
+        """Cheap structural hash used to avoid re-exploring identical circuits."""
+        return tuple(
+            (inst.gate, inst.qubits, tuple(round(p, 9) for p in inst.params))
+            for inst in circuit.instructions
+        )

@@ -1,0 +1,81 @@
+"""Fixed-sequence-of-passes optimizers: the Qiskit / tket / VOQC stand-ins.
+
+The paper characterises the industrial toolkits as applying "a fixed sequence
+of passes" (Table 3).  Three presets of increasing strength are provided; all
+are exact (epsilon = 0), fast, and — like their real counterparts — unable to
+search: they run their pass list to a fixpoint once and stop.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineOptimizer
+from repro.circuits.circuit import Circuit
+from repro.gatesets.base import GateSet
+from repro.rewrite.library import rules_for_gate_set
+from repro.rewrite.rules import (
+    CancelAdjacentSelfInverseTwoQubit,
+    CancelInverseOneQubitPairs,
+    FuseOneQubitRuns,
+    MergePhaseGates,
+    MergeRotations,
+    RemoveIdentityGates,
+    RewriteRule,
+    apply_until_fixpoint,
+)
+
+_PRESETS = ("basic", "commuting", "full")
+
+
+class FixedPassOptimizer(BaselineOptimizer):
+    """Apply a fixed list of peephole passes to a fixpoint.
+
+    Presets
+    -------
+    ``basic``
+        Adjacent-only cancellation and merging (Qiskit-like default passes).
+    ``commuting``
+        Adds commutation-aware CX cancellation and rotation merging
+        (tket-like).
+    ``full``
+        The entire per-gate-set rewrite library, i.e. the same rules GUOQ
+        uses but applied once in a fixed order (VOQC-like).
+    """
+
+    def __init__(self, gate_set: GateSet, preset: str = "full", max_rounds: int = 50) -> None:
+        if preset not in _PRESETS:
+            raise ValueError(f"unknown preset {preset!r}; expected one of {_PRESETS}")
+        self.gate_set = gate_set
+        self.preset = preset
+        self.max_rounds = max_rounds
+        self.name = f"fixed_passes[{preset},{gate_set.name}]"
+        self.rules = self._build_rules()
+
+    def _build_rules(self) -> list[RewriteRule]:
+        if self.preset == "full":
+            return rules_for_gate_set(self.gate_set)
+        one_qubit_fixed = [
+            name
+            for name in ("h", "x", "s", "sdg", "t", "tdg", "sx", "sxdg")
+            if name in self.gate_set
+        ]
+        rotations = [name for name in ("rz", "rx", "ry", "u1") if name in self.gate_set]
+        use_commutation = self.preset == "commuting"
+        rules: list[RewriteRule] = [RemoveIdentityGates()]
+        if one_qubit_fixed:
+            rules.append(CancelInverseOneQubitPairs(one_qubit_fixed))
+        for rotation in rotations:
+            rules.append(MergeRotations([rotation], use_commutation=use_commutation))
+        if not self.gate_set.parameterized:
+            rules.append(MergePhaseGates())
+        if self.gate_set.entangling_gate == "cx":
+            rules.append(
+                CancelAdjacentSelfInverseTwoQubit(["cx"], use_commutation=use_commutation)
+            )
+        else:
+            rules.append(MergeRotations(["rxx"], use_commutation=False))
+        rules.append(FuseOneQubitRuns(self.gate_set.one_qubit_basis))
+        return rules
+
+    def optimize(self, circuit: Circuit) -> Circuit:
+        optimized, _ = apply_until_fixpoint(circuit, self.rules, max_iterations=self.max_rounds)
+        return optimized

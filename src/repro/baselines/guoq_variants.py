@@ -1,0 +1,89 @@
+"""Alternative ways of combining rewriting and resynthesis (Q3).
+
+These are the search-algorithm ablations of Fig. 11:
+
+* ``GuoqSequentialOptimizer`` — spend the first half of the budget with one
+  kind of transformation only, then switch to the other kind
+  (``rewrite-resynth`` or ``resynth-rewrite``).
+* ``guoq_beam_optimizer`` — plug the full GUOQ transformation set into the
+  MaxBeam-style beam search instead of the randomized single-candidate loop.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineOptimizer
+from repro.baselines.beam_search import BeamSearchOptimizer
+from repro.circuits.circuit import Circuit
+from repro.core.guoq import GuoqConfig, GuoqOptimizer
+from repro.core.objectives import CostFunction, TwoQubitGateCount
+from repro.core.transformations import RewriteTransformation, Transformation
+
+_ORDERS = ("rewrite-resynth", "resynth-rewrite")
+
+
+class GuoqSequentialOptimizer(BaselineOptimizer):
+    """Coarse interleaving: one transformation family, then the other."""
+
+    def __init__(
+        self,
+        transformations: list[Transformation],
+        cost: "CostFunction | None" = None,
+        order: str = "rewrite-resynth",
+        time_limit: float = 10.0,
+        epsilon_budget: float = 1e-6,
+        seed: "int | None" = None,
+    ) -> None:
+        if order not in _ORDERS:
+            raise ValueError(f"order must be one of {_ORDERS}")
+        self.transformations = list(transformations)
+        self.cost = cost if cost is not None else TwoQubitGateCount()
+        self.order = order
+        self.time_limit = time_limit
+        self.epsilon_budget = epsilon_budget
+        self.seed = seed
+        self.name = f"guoq_seq[{order}]"
+
+    def optimize(self, circuit: Circuit) -> Circuit:
+        rewrites = [t for t in self.transformations if isinstance(t, RewriteTransformation)]
+        resynths = [t for t in self.transformations if not isinstance(t, RewriteTransformation)]
+        phases = (
+            (rewrites, resynths) if self.order == "rewrite-resynth" else (resynths, rewrites)
+        )
+        current = circuit
+        remaining_budget = self.epsilon_budget
+        for index, phase_transformations in enumerate(phases):
+            if not phase_transformations:
+                continue
+            config = GuoqConfig(
+                epsilon_budget=remaining_budget,
+                time_limit=self.time_limit / 2.0,
+                seed=None if self.seed is None else self.seed + index,
+                track_history=False,
+            )
+            result = GuoqOptimizer(phase_transformations, cost=self.cost, config=config).optimize(
+                current
+            )
+            current = result.best_circuit
+            remaining_budget = max(0.0, remaining_budget - result.error_bound)
+        return current
+
+
+def guoq_beam_optimizer(
+    transformations: list[Transformation],
+    cost: "CostFunction | None" = None,
+    beam_width: int = 8,
+    time_limit: float = 10.0,
+    epsilon_budget: float = 1e-6,
+    seed: "int | None" = None,
+) -> BeamSearchOptimizer:
+    """GUOQ-BEAM: the framework instantiated with MaxBeam instead of Alg. 1."""
+    optimizer = BeamSearchOptimizer(
+        transformations,
+        cost=cost,
+        beam_width=beam_width,
+        epsilon_budget=epsilon_budget,
+        time_limit=time_limit,
+        seed=seed,
+    )
+    optimizer.name = f"guoq_beam[w={beam_width}]"
+    return optimizer

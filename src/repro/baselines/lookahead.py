@@ -1,0 +1,75 @@
+"""Greedy lookahead rewrite scheduler: the learned-policy (Quarl) stand-in.
+
+Quarl trains a reinforcement-learning policy (on an A100 GPU) to decide which
+rewrite to apply where.  Training an RL agent is out of scope for this
+reproduction, so the "clever heuristic" family is represented by a greedy
+one-step-lookahead scheduler: at every step it tries every rewrite rule,
+scores the results, and commits to the best one; occasional sideways moves
+are allowed so it does not stop at the first plateau.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.base import BaselineOptimizer
+from repro.circuits.circuit import Circuit
+from repro.core.objectives import CostFunction, TwoQubitGateCount
+from repro.rewrite.rules import RewriteRule
+from repro.utils.rng import ensure_rng
+
+
+class LookaheadRewriteOptimizer(BaselineOptimizer):
+    """Greedy best-next-rewrite scheduling with bounded sideways moves."""
+
+    def __init__(
+        self,
+        rules: list[RewriteRule],
+        cost: "CostFunction | None" = None,
+        time_limit: float = 10.0,
+        max_sideways: int = 20,
+        seed: "int | None" = None,
+    ) -> None:
+        if not rules:
+            raise ValueError("lookahead optimizer needs at least one rule")
+        self.rules = list(rules)
+        self.cost = cost if cost is not None else TwoQubitGateCount()
+        self.time_limit = time_limit
+        self.max_sideways = max_sideways
+        self.seed = seed
+        self.name = "lookahead_rewrite"
+
+    def optimize(self, circuit: Circuit) -> Circuit:
+        rng = ensure_rng(self.seed)
+        start = time.monotonic()
+        current = circuit
+        current_cost = self.cost(circuit)
+        best = circuit
+        best_cost = current_cost
+        sideways = 0
+
+        while time.monotonic() - start < self.time_limit:
+            scored: list[tuple[float, int, Circuit]] = []
+            for rule in self.rules:
+                candidate, changed = rule.apply_pass(current)
+                if changed == 0:
+                    continue
+                scored.append((self.cost(candidate), -changed, candidate))
+            if not scored:
+                break
+            scored.sort(key=lambda item: (item[0], item[1]))
+            chosen_cost, _, chosen = scored[0]
+            if chosen_cost < current_cost:
+                sideways = 0
+            else:
+                sideways += 1
+                if sideways > self.max_sideways:
+                    break
+                # Break plateaus by occasionally taking a random productive move
+                # instead of the deterministic best one.
+                if len(scored) > 1 and rng.random() < 0.3:
+                    chosen_cost, _, chosen = scored[int(rng.integers(0, len(scored)))]
+            current, current_cost = chosen, chosen_cost
+            if current_cost < best_cost:
+                best, best_cost = current, current_cost
+        return best

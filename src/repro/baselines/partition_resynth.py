@@ -1,0 +1,66 @@
+"""Partition-and-resynthesize baseline: the BQSKit / QUEST stand-in.
+
+The circuit is cut once, left to right, into disjoint convex blocks of at
+most ``max_qubits`` qubits; each block is resynthesized independently and the
+result is kept when it does not increase the cost.  Unlike GUOQ, the
+partition is fixed — optimization opportunities that straddle a block
+boundary are invisible (Section 7), which is exactly the weakness the unified
+framework removes.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineOptimizer
+from repro.circuits.blocks import block_to_circuit, extract_block, replace_block
+from repro.circuits.circuit import Circuit
+from repro.core.objectives import CostFunction, TwoQubitGateCount
+from repro.synthesis.resynth import Resynthesizer
+
+
+class PartitionResynthOptimizer(BaselineOptimizer):
+    """Single-pass partition + per-block resynthesis."""
+
+    def __init__(
+        self,
+        resynthesizer: Resynthesizer,
+        cost: "CostFunction | None" = None,
+        max_qubits: int = 3,
+        max_block_gates: int = 48,
+        time_limit: "float | None" = None,
+    ) -> None:
+        self.resynthesizer = resynthesizer
+        self.cost = cost if cost is not None else TwoQubitGateCount()
+        self.max_qubits = max_qubits
+        self.max_block_gates = max_block_gates
+        self.time_limit = time_limit
+        self.name = f"partition_resynth[{resynthesizer.name}]"
+
+    def optimize(self, circuit: Circuit) -> Circuit:
+        import time
+
+        start = time.monotonic()
+        current = circuit
+        cursor = 0
+        while cursor < len(current):
+            if self.time_limit is not None and time.monotonic() - start > self.time_limit:
+                break
+            if len(current[cursor].qubits) > self.max_qubits:
+                cursor += 1
+                continue
+            block = extract_block(
+                current, cursor, max_qubits=self.max_qubits, max_gates=self.max_block_gates
+            )
+            small = block_to_circuit(current, block)
+            outcome = self.resynthesizer.resynthesize(small)
+            replacement = small
+            if outcome is not None:
+                candidate = replace_block(current, block, outcome.circuit)
+                if self.cost(candidate) <= self.cost(current):
+                    current = candidate
+                    cursor += outcome.circuit.size()
+                    continue
+            # Keep the original block contents but make the block contiguous at
+            # the cursor, so the scan processes every gate exactly once.
+            current = replace_block(current, block, replacement)
+            cursor += replacement.size()
+        return current

@@ -1,0 +1,147 @@
+"""Phase-polynomial rotation merging: the PyZX / T-count-optimizer stand-in.
+
+Within a {CNOT, phase} region of a circuit, every phase gate applies a phase
+that depends only on the *parity* (an XOR of wire variables) currently held
+by its qubit.  Phase gates whose parities coincide can therefore be merged
+into a single rotation, regardless of how far apart they are — this is the
+rotation-merging optimization of Nam et al. and the workhorse behind PyZX's
+T-count reductions.
+
+Crucially, and faithfully to the paper's observations about PyZX (Q4), this
+optimizer never touches the CX structure: two-qubit gate counts are preserved
+exactly while T/phase gates are merged or cancelled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.baselines.base import BaselineOptimizer
+from repro.circuits.circuit import Circuit, Instruction, instruction
+
+PI = math.pi
+TWO_PI = 2.0 * math.pi
+_ATOL = 1e-10
+
+#: phase gates expressed as Z-rotation angles (equal up to global phase)
+_PHASE_ANGLES = {
+    "z": PI,
+    "s": PI / 2,
+    "sdg": -PI / 2,
+    "t": PI / 4,
+    "tdg": -PI / 4,
+}
+_PHASE_LIKE = set(_PHASE_ANGLES) | {"rz", "u1", "p"}
+
+#: canonical Clifford+T sequences for multiples of pi/4 (eighth turns)
+_EIGHTH_SEQUENCES = {
+    0: (),
+    1: ("t",),
+    2: ("s",),
+    3: ("s", "t"),
+    4: ("z",),
+    5: ("z", "t"),
+    6: ("sdg",),
+    7: ("tdg",),
+}
+
+
+@dataclass
+class _PhaseTerm:
+    """All phase gates sharing one parity, anchored at the earliest of them."""
+
+    anchor_index: int
+    qubit: int
+    angle: float = 0.0
+    members: list[int] = field(default_factory=list)
+
+
+class PhasePolynomialOptimizer(BaselineOptimizer):
+    """Merge phase gates with equal parities inside CNOT+phase regions."""
+
+    def __init__(self, emit_clifford_t: "bool | None" = None) -> None:
+        # When None, the output style (t/s/z vs rz) is chosen per merged term
+        # from whether its total angle is a multiple of pi/4.
+        self.emit_clifford_t = emit_clifford_t
+        self.name = "phase_polynomial"
+
+    def optimize(self, circuit: Circuit) -> Circuit:
+        terms, consumed = self._collect_terms(circuit)
+
+        replacements: dict[int, list[Instruction]] = {}
+        removed: set[int] = set(consumed)
+        for term in terms:
+            replacements[term.anchor_index] = self._emit(term)
+
+        out = Circuit(circuit.num_qubits, name=circuit.name)
+        for index, inst in enumerate(circuit.instructions):
+            if index in replacements:
+                out.extend(replacements[index])
+            elif index in removed:
+                continue
+            else:
+                out.append(inst)
+        return out
+
+    # -- phase-polynomial bookkeeping ----------------------------------------
+
+    def _collect_terms(self, circuit: Circuit) -> tuple[list[_PhaseTerm], set[int]]:
+        """Group phase gates by parity; return the groups and consumed indices."""
+        next_variable = circuit.num_qubits
+        parity: list[frozenset[int]] = [frozenset({q}) for q in range(circuit.num_qubits)]
+        groups: dict[frozenset[int], _PhaseTerm] = {}
+        finished: list[_PhaseTerm] = []
+        consumed: set[int] = set()
+
+        def close_parity(key: frozenset[int]) -> None:
+            term = groups.pop(key, None)
+            if term is not None:
+                finished.append(term)
+
+        for index, inst in enumerate(circuit.instructions):
+            if inst.gate in _PHASE_LIKE and len(inst.qubits) == 1:
+                qubit = inst.qubits[0]
+                key = parity[qubit]
+                angle = _PHASE_ANGLES.get(inst.gate)
+                if angle is None:
+                    angle = inst.params[0]
+                term = groups.get(key)
+                if term is None:
+                    term = _PhaseTerm(anchor_index=index, qubit=qubit)
+                    groups[key] = term
+                term.angle += angle
+                term.members.append(index)
+                consumed.add(index)
+            elif inst.gate == "cx":
+                control, target = inst.qubits
+                # A pending phase keyed on the target's parity must be flushed
+                # before that parity disappears?  No: the parity value still
+                # exists in the phase polynomial; only the *wire assignment*
+                # changes, and the anchor position already holds it.  Simply
+                # update the target's parity.
+                parity[target] = parity[target] ^ parity[control]
+            else:
+                # Any other gate destroys the linearity of the affected wires:
+                # give each one a fresh variable so later phases never merge
+                # with earlier ones across the barrier.
+                for qubit in inst.qubits:
+                    parity[qubit] = frozenset({next_variable})
+                    next_variable += 1
+
+        finished.extend(groups.values())
+        return finished, consumed
+
+    # -- emission --------------------------------------------------------------
+
+    def _emit(self, term: _PhaseTerm) -> list[Instruction]:
+        angle = math.remainder(term.angle, TWO_PI)
+        if abs(angle) < _ATOL or abs(abs(angle) - TWO_PI) < _ATOL:
+            return []
+        eighths = angle / (PI / 4)
+        is_eighth = abs(eighths - round(eighths)) < 1e-9
+        use_clifford_t = self.emit_clifford_t if self.emit_clifford_t is not None else is_eighth
+        if use_clifford_t and is_eighth:
+            names = _EIGHTH_SEQUENCES[int(round(eighths)) % 8]
+            return [instruction(name, [term.qubit]) for name in names]
+        return [instruction("rz", [term.qubit], [angle])]

@@ -1,0 +1,87 @@
+"""Registry mapping the paper's tool names (Table 3) to baseline factories.
+
+Each factory takes a gate set plus a time limit / seed and returns a
+configured :class:`BaselineOptimizer`.  The mapping to the real tools is a
+stand-in (see DESIGN.md): fixed-pass presets for the industrial compilers,
+partition+resynthesis for BQSKit/QUEST, beam search for QUESO/Quartz, greedy
+lookahead for Quarl, and the phase-polynomial optimizer for PyZX.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineOptimizer
+from repro.baselines.beam_search import BeamSearchOptimizer
+from repro.baselines.fixed_passes import FixedPassOptimizer
+from repro.baselines.lookahead import LookaheadRewriteOptimizer
+from repro.baselines.partition_resynth import PartitionResynthOptimizer
+from repro.baselines.phase_poly import PhasePolynomialOptimizer
+from repro.core.objectives import CostFunction
+from repro.core.transformations import rewrite_transformations
+from repro.gatesets.base import GateSet, get_gate_set
+from repro.rewrite.library import rules_for_gate_set
+from repro.synthesis.resynth import CliffordTResynthesizer, NumericalResynthesizer
+
+
+def _resynthesizer_for(gate_set: GateSet, epsilon: float, seed: "int | None"):
+    if gate_set.parameterized:
+        return NumericalResynthesizer(
+            gate_set, epsilon=epsilon, max_layers=4, restarts=1, time_budget=1.5, rng=seed
+        )
+    return CliffordTResynthesizer(epsilon=epsilon, max_qubits=2, rng=seed)
+
+
+def make_baseline(
+    tool: str,
+    gate_set: "GateSet | str",
+    cost: "CostFunction | None" = None,
+    time_limit: float = 10.0,
+    epsilon: float = 1e-6,
+    seed: "int | None" = None,
+) -> BaselineOptimizer:
+    """Build the stand-in optimizer for one of the paper's comparison tools.
+
+    Recognised tool names: ``qiskit``, ``tket``, ``voqc``, ``bqskit``,
+    ``queso``, ``quartz``, ``quarl``, ``pyzx``, ``synthetiq-partition``.
+    """
+    if isinstance(gate_set, str):
+        gate_set = get_gate_set(gate_set)
+    key = tool.lower()
+    if key == "qiskit":
+        return FixedPassOptimizer(gate_set, preset="basic")
+    if key == "tket":
+        return FixedPassOptimizer(gate_set, preset="commuting")
+    if key == "voqc":
+        return FixedPassOptimizer(gate_set, preset="full")
+    if key in {"bqskit", "synthetiq-partition"}:
+        return PartitionResynthOptimizer(
+            _resynthesizer_for(gate_set, epsilon, seed), cost=cost, time_limit=time_limit
+        )
+    if key in {"queso", "quartz"}:
+        width = 8 if key == "queso" else 12
+        return BeamSearchOptimizer(
+            rewrite_transformations(rules_for_gate_set(gate_set)),
+            cost=cost,
+            beam_width=width,
+            time_limit=time_limit,
+            seed=seed,
+        )
+    if key == "quarl":
+        return LookaheadRewriteOptimizer(
+            rules_for_gate_set(gate_set), cost=cost, time_limit=time_limit, seed=seed
+        )
+    if key == "pyzx":
+        return PhasePolynomialOptimizer()
+    raise KeyError(f"unknown tool {tool!r}")
+
+
+AVAILABLE_TOOLS = (
+    "qiskit",
+    "tket",
+    "voqc",
+    "bqskit",
+    "queso",
+    "quartz",
+    "quarl",
+    "pyzx",
+    "synthetiq-partition",
+)

@@ -1,0 +1,42 @@
+"""Circuit intermediate representation and supporting views."""
+
+from repro.circuits.blocks import (
+    Block,
+    block_to_circuit,
+    extract_block,
+    partition_into_blocks,
+    random_block,
+    replace_block,
+)
+from repro.circuits.circuit import Circuit, Instruction, instruction
+from repro.circuits.dag import WireView, circuit_to_dag, is_convex_subcircuit
+from repro.circuits.gates import GateSpec, gate_spec, known_gates, register_gate
+from repro.circuits.metrics import (
+    circuit_distance,
+    circuits_equivalent,
+    gate_reduction,
+    unitary_equivalent,
+)
+
+__all__ = [
+    "Block",
+    "Circuit",
+    "GateSpec",
+    "Instruction",
+    "WireView",
+    "block_to_circuit",
+    "circuit_distance",
+    "circuit_to_dag",
+    "circuits_equivalent",
+    "extract_block",
+    "gate_reduction",
+    "gate_spec",
+    "instruction",
+    "is_convex_subcircuit",
+    "known_gates",
+    "partition_into_blocks",
+    "random_block",
+    "register_gate",
+    "replace_block",
+    "unitary_equivalent",
+]

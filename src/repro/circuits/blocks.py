@@ -1,0 +1,205 @@
+"""Convex-subcircuit (block) extraction and replacement.
+
+Resynthesis transformations operate on small, few-qubit *blocks*: convex
+subcircuits of the circuit DAG (Section 3).  Blocks are grown greedily from a
+seed instruction, never exceeding a qubit budget; the growth rule guarantees
+convexity so that a block can be cut out, resynthesized, and spliced back in
+without violating gate dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit, Instruction
+
+
+@dataclass(frozen=True)
+class Block:
+    """A convex subcircuit of a parent circuit.
+
+    Attributes
+    ----------
+    indices:
+        Instruction indices (in parent order) belonging to the block.
+    qubits:
+        Sorted parent-circuit qubits the block acts on.
+    start:
+        The seed instruction index the block was grown from.
+    """
+
+    indices: tuple[int, ...]
+    qubits: tuple[int, ...]
+    start: int
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def extract_block(
+    circuit: Circuit,
+    start: int,
+    max_qubits: int = 3,
+    max_gates: "int | None" = None,
+) -> Block:
+    """Grow a convex block from instruction ``start``.
+
+    The scan walks forward from ``start``.  A gate joins the block when its
+    qubits are not *blocked* and the union of block qubits stays within
+    ``max_qubits``; otherwise all of its qubits become blocked, which prevents
+    any later gate that depends on it from joining.  This is the standard
+    greedy blocking partitioner used by partition-and-resynthesize tools and
+    yields convex subcircuits by construction.
+    """
+    if not 0 <= start < len(circuit):
+        raise IndexError(f"start index {start} out of range for {len(circuit)} gates")
+    if max_qubits < 1:
+        raise ValueError("max_qubits must be positive")
+    limit = len(circuit) if max_gates is None else max_gates
+
+    instructions = circuit.instructions
+    active: set[int] = set()
+    blocked: set[int] = set()
+    chosen: list[int] = []
+
+    for index in range(start, len(instructions)):
+        if len(chosen) >= limit:
+            break
+        qubits = set(instructions[index].qubits)
+        if qubits & blocked:
+            blocked |= qubits
+            continue
+        if len(active | qubits) <= max_qubits:
+            chosen.append(index)
+            active |= qubits
+        else:
+            blocked |= qubits
+        if len(blocked) >= circuit.num_qubits:
+            break
+
+    if not chosen:
+        # The seed gate itself always fits unless it alone exceeds the budget.
+        raise ValueError(
+            f"seed gate at {start} acts on more than max_qubits={max_qubits} qubits"
+        )
+    return Block(indices=tuple(chosen), qubits=tuple(sorted(active)), start=start)
+
+
+def block_to_circuit(circuit: Circuit, block: Block) -> Circuit:
+    """Extract a block as a standalone circuit over ``len(block.qubits)`` qubits."""
+    mapping = {qubit: local for local, qubit in enumerate(block.qubits)}
+    small = Circuit(len(block.qubits), name=f"{circuit.name}_block")
+    for index in block.indices:
+        small.append(circuit[index].remapped(mapping))
+    return small
+
+
+def replace_block(circuit: Circuit, block: Block, replacement: Circuit) -> Circuit:
+    """Splice ``replacement`` (a circuit over the block's local qubits) back in.
+
+    The rebuilt circuit is: every instruction before the block's seed, then the
+    remapped replacement, then every remaining instruction that was not part of
+    the block, in original order.  The block-growth rule guarantees no skipped
+    instruction is a dependency of a later block instruction, so this ordering
+    is a valid topological order of the modified DAG.
+    """
+    if replacement.num_qubits != len(block.qubits):
+        raise ValueError(
+            f"replacement acts on {replacement.num_qubits} qubits, "
+            f"block has {len(block.qubits)}"
+        )
+    inverse_mapping = {local: qubit for local, qubit in enumerate(block.qubits)}
+    block_set = set(block.indices)
+
+    rebuilt = Circuit(circuit.num_qubits, name=circuit.name)
+    for index in range(block.start):
+        rebuilt.append(circuit[index])
+    for inst in replacement.instructions:
+        rebuilt.append(inst.remapped(inverse_mapping))
+    for index in range(block.start, len(circuit)):
+        if index not in block_set:
+            rebuilt.append(circuit[index])
+    return rebuilt
+
+
+def random_block(
+    circuit: Circuit,
+    rng,
+    max_qubits: int = 3,
+    max_gates: "int | None" = None,
+) -> "Block | None":
+    """Pick a uniformly random seed gate and grow a block from it.
+
+    Returns ``None`` for an empty circuit or when the sampled seed acts on
+    more qubits than the budget allows.
+    """
+    if len(circuit) == 0:
+        return None
+    start = int(rng.integers(0, len(circuit)))
+    if len(circuit[start].qubits) > max_qubits:
+        return None
+    return extract_block(circuit, start, max_qubits=max_qubits, max_gates=max_gates)
+
+
+def partition_into_blocks(
+    circuit: Circuit, max_qubits: int = 3, max_gates: "int | None" = None
+) -> list[Block]:
+    """Partition the whole circuit into disjoint convex blocks, left to right.
+
+    Used by the partition-and-resynthesize baseline (BQSKit/QUEST style): each
+    block is grown from the earliest instruction not yet assigned to a block.
+    """
+    assigned: set[int] = set()
+    blocks: list[Block] = []
+    index = 0
+    while index < len(circuit):
+        if index in assigned:
+            index += 1
+            continue
+        if len(circuit[index].qubits) > max_qubits:
+            # A gate wider than the budget forms its own (unoptimized) block.
+            blocks.append(
+                Block(
+                    indices=(index,),
+                    qubits=tuple(sorted(circuit[index].qubits)),
+                    start=index,
+                )
+            )
+            assigned.add(index)
+            index += 1
+            continue
+        block = _extract_block_skipping(circuit, index, assigned, max_qubits, max_gates)
+        blocks.append(block)
+        assigned.update(block.indices)
+        index += 1
+    return blocks
+
+
+def _extract_block_skipping(
+    circuit: Circuit,
+    start: int,
+    assigned: set[int],
+    max_qubits: int,
+    max_gates: "int | None",
+) -> Block:
+    """Like :func:`extract_block` but never re-uses already-assigned gates."""
+    limit = len(circuit) if max_gates is None else max_gates
+    instructions = circuit.instructions
+    active: set[int] = set()
+    blocked: set[int] = set()
+    chosen: list[int] = []
+    for index in range(start, len(instructions)):
+        if len(chosen) >= limit:
+            break
+        qubits = set(instructions[index].qubits)
+        if index in assigned or qubits & blocked:
+            blocked |= qubits
+            continue
+        if len(active | qubits) <= max_qubits:
+            chosen.append(index)
+            active |= qubits
+        else:
+            blocked |= qubits
+        if len(blocked) >= circuit.num_qubits:
+            break
+    return Block(indices=tuple(chosen), qubits=tuple(sorted(active)), start=start)

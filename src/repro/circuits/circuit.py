@@ -1,0 +1,323 @@
+"""The quantum-circuit intermediate representation.
+
+A :class:`Circuit` is an ordered list of :class:`Instruction` objects over a
+fixed number of qubits.  The representation is deliberately simple — the
+paper's framework treats circuits as opaque values that transformations map
+to other circuits — while providing the derived views (wire adjacency, DAG,
+unitary) the optimizers need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.circuits.gates import GateSpec, T_LIKE_GATES, gate_spec
+from repro.utils.linalg import COMPLEX_DTYPE, apply_gate_to_matrix
+
+TWO_PI = 2.0 * math.pi
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single gate application: gate name, target qubits, and parameters."""
+
+    gate: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        spec = gate_spec(self.gate)
+        if len(self.qubits) != spec.num_qubits:
+            raise ValueError(
+                f"gate {self.gate!r} acts on {spec.num_qubits} qubits, got {self.qubits}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubits in {self.qubits} for gate {self.gate!r}")
+        if len(self.params) != spec.num_params:
+            raise ValueError(
+                f"gate {self.gate!r} expects {spec.num_params} params, got {self.params}"
+            )
+
+    @property
+    def spec(self) -> GateSpec:
+        """The registry entry describing this instruction's gate."""
+        return gate_spec(self.gate)
+
+    def matrix(self) -> np.ndarray:
+        """Unitary of the gate with this instruction's concrete parameters."""
+        return self.spec.matrix(self.params)
+
+    def remapped(self, mapping: dict[int, int]) -> "Instruction":
+        """Return a copy with qubit indices translated through ``mapping``."""
+        return Instruction(self.gate, tuple(mapping[q] for q in self.qubits), self.params)
+
+    def is_identity(self, atol: float = 1e-10) -> bool:
+        """True when the instruction acts as the identity (e.g. ``rz(0)``)."""
+        spec = self.spec
+        if spec.name == "id":
+            return True
+        if spec.is_rotation and len(self.params) == 1:
+            angle = math.remainder(self.params[0], 2.0 * TWO_PI)
+            if abs(angle) < atol:
+                return True
+            # u1/p/cp have period 2*pi exactly (no global phase issue).
+            if spec.name in {"u1", "p", "cp", "cu1"} and abs(math.remainder(self.params[0], TWO_PI)) < atol:
+                return True
+        return False
+
+
+def instruction(gate: str, qubits: Sequence[int], params: Sequence[float] = ()) -> Instruction:
+    """Convenience constructor normalising argument types."""
+    return Instruction(gate.lower(), tuple(int(q) for q in qubits), tuple(float(p) for p in params))
+
+
+class Circuit:
+    """An ordered sequence of gate applications on ``num_qubits`` qubits."""
+
+    def __init__(
+        self,
+        num_qubits: int,
+        instructions: "Iterable[Instruction] | None" = None,
+        name: str = "",
+    ) -> None:
+        if num_qubits < 1:
+            raise ValueError("a circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._instructions: list[Instruction] = []
+        if instructions is not None:
+            for inst in instructions:
+                self.append(inst)
+
+    # -- container protocol -------------------------------------------------
+
+    @property
+    def instructions(self) -> tuple[Instruction, ...]:
+        """The instruction sequence as an immutable tuple."""
+        return tuple(self._instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self._instructions[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and self._instructions == other._instructions
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Circuit{label} qubits={self.num_qubits} gates={len(self)}>"
+
+    # -- construction -------------------------------------------------------
+
+    def append(self, inst: Instruction) -> "Circuit":
+        """Append an already-built instruction, validating qubit indices."""
+        if max(inst.qubits) >= self.num_qubits or min(inst.qubits) < 0:
+            raise ValueError(
+                f"instruction {inst} out of range for {self.num_qubits} qubits"
+            )
+        self._instructions.append(inst)
+        return self
+
+    def add(self, gate: str, qubits: Sequence[int], params: Sequence[float] = ()) -> "Circuit":
+        """Append a gate by name."""
+        return self.append(instruction(gate, qubits, params))
+
+    def extend(self, instructions: Iterable[Instruction]) -> "Circuit":
+        """Append a sequence of instructions."""
+        for inst in instructions:
+            self.append(inst)
+        return self
+
+    # Convenience builders for the most common gates ------------------------
+
+    def h(self, q: int) -> "Circuit":
+        return self.add("h", [q])
+
+    def x(self, q: int) -> "Circuit":
+        return self.add("x", [q])
+
+    def y(self, q: int) -> "Circuit":
+        return self.add("y", [q])
+
+    def z(self, q: int) -> "Circuit":
+        return self.add("z", [q])
+
+    def s(self, q: int) -> "Circuit":
+        return self.add("s", [q])
+
+    def sdg(self, q: int) -> "Circuit":
+        return self.add("sdg", [q])
+
+    def t(self, q: int) -> "Circuit":
+        return self.add("t", [q])
+
+    def tdg(self, q: int) -> "Circuit":
+        return self.add("tdg", [q])
+
+    def sx(self, q: int) -> "Circuit":
+        return self.add("sx", [q])
+
+    def rx(self, theta: float, q: int) -> "Circuit":
+        return self.add("rx", [q], [theta])
+
+    def ry(self, theta: float, q: int) -> "Circuit":
+        return self.add("ry", [q], [theta])
+
+    def rz(self, theta: float, q: int) -> "Circuit":
+        return self.add("rz", [q], [theta])
+
+    def u1(self, lam: float, q: int) -> "Circuit":
+        return self.add("u1", [q], [lam])
+
+    def u2(self, phi: float, lam: float, q: int) -> "Circuit":
+        return self.add("u2", [q], [phi, lam])
+
+    def u3(self, theta: float, phi: float, lam: float, q: int) -> "Circuit":
+        return self.add("u3", [q], [theta, phi, lam])
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        return self.add("cx", [control, target])
+
+    def cz(self, a: int, b: int) -> "Circuit":
+        return self.add("cz", [a, b])
+
+    def cp(self, lam: float, control: int, target: int) -> "Circuit":
+        return self.add("cp", [control, target], [lam])
+
+    def crz(self, theta: float, control: int, target: int) -> "Circuit":
+        return self.add("crz", [control, target], [theta])
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        return self.add("swap", [a, b])
+
+    def rxx(self, theta: float, a: int, b: int) -> "Circuit":
+        return self.add("rxx", [a, b], [theta])
+
+    def rzz(self, theta: float, a: int, b: int) -> "Circuit":
+        return self.add("rzz", [a, b], [theta])
+
+    def ccx(self, c1: int, c2: int, target: int) -> "Circuit":
+        return self.add("ccx", [c1, c2, target])
+
+    # -- derived views ------------------------------------------------------
+
+    def copy(self, name: "str | None" = None) -> "Circuit":
+        """Shallow copy (instructions are immutable, so this is sufficient)."""
+        out = Circuit(self.num_qubits, name=self.name if name is None else name)
+        out._instructions = list(self._instructions)
+        return out
+
+    def inverse(self) -> "Circuit":
+        """Return the adjoint circuit (gates reversed and inverted)."""
+        out = Circuit(self.num_qubits, name=f"{self.name}_dg" if self.name else "")
+        for inst in reversed(self._instructions):
+            spec = inst.spec
+            if spec.self_inverse:
+                out.append(inst)
+            elif spec.inverse_name is not None:
+                out.add(spec.inverse_name, inst.qubits, inst.params)
+            elif spec.num_params >= 1:
+                out.add(inst.gate, inst.qubits, tuple(-p for p in inst.params))
+            else:
+                raise ValueError(f"cannot invert gate {inst.gate!r}")
+        return out
+
+    def compose(self, other: "Circuit") -> "Circuit":
+        """Return a new circuit running ``self`` then ``other``."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("cannot compose circuits of different widths")
+        out = self.copy()
+        out.extend(other.instructions)
+        return out
+
+    def used_qubits(self) -> tuple[int, ...]:
+        """Sorted tuple of qubits touched by at least one instruction."""
+        used: set[int] = set()
+        for inst in self._instructions:
+            used.update(inst.qubits)
+        return tuple(sorted(used))
+
+    def remapped(self, mapping: dict[int, int], num_qubits: int) -> "Circuit":
+        """Return a copy with qubits relabelled through ``mapping``."""
+        out = Circuit(num_qubits, name=self.name)
+        for inst in self._instructions:
+            out.append(inst.remapped(mapping))
+        return out
+
+    # -- metrics ------------------------------------------------------------
+
+    def gate_counts(self) -> dict[str, int]:
+        """Histogram of gate names."""
+        counts: dict[str, int] = {}
+        for inst in self._instructions:
+            counts[inst.gate] = counts.get(inst.gate, 0) + 1
+        return counts
+
+    def count(self, *gate_names: str) -> int:
+        """Number of instructions whose gate is one of ``gate_names``."""
+        names = {name.lower() for name in gate_names}
+        return sum(1 for inst in self._instructions if inst.gate in names)
+
+    def two_qubit_count(self) -> int:
+        """Number of gates acting on two or more qubits."""
+        return sum(1 for inst in self._instructions if len(inst.qubits) >= 2)
+
+    def t_count(self) -> int:
+        """Number of T / T-dagger gates (the FTQC cost driver)."""
+        return sum(1 for inst in self._instructions if inst.gate in T_LIKE_GATES)
+
+    def depth(self) -> int:
+        """Circuit depth: longest chain of gates sharing qubits."""
+        frontier = [0] * self.num_qubits
+        for inst in self._instructions:
+            level = 1 + max(frontier[q] for q in inst.qubits)
+            for q in inst.qubits:
+                frontier[q] = level
+        return max(frontier) if self._instructions else 0
+
+    def size(self) -> int:
+        """Total gate count."""
+        return len(self._instructions)
+
+    # -- semantics ----------------------------------------------------------
+
+    def unitary(self) -> np.ndarray:
+        """Dense unitary of the whole circuit (exponential in qubit count)."""
+        if self.num_qubits > 14:
+            raise ValueError(
+                f"refusing to build a dense unitary for {self.num_qubits} qubits"
+            )
+        dim = 2**self.num_qubits
+        result = np.eye(dim, dtype=COMPLEX_DTYPE)
+        for inst in self._instructions:
+            result = apply_gate_to_matrix(result, inst.matrix(), inst.qubits, self.num_qubits)
+        return result
+
+    def statevector(self, initial: "np.ndarray | None" = None) -> np.ndarray:
+        """Apply the circuit to a state vector (default ``|0...0>``)."""
+        dim = 2**self.num_qubits
+        if initial is None:
+            state = np.zeros(dim, dtype=COMPLEX_DTYPE)
+            state[0] = 1.0
+        else:
+            state = np.asarray(initial, dtype=COMPLEX_DTYPE).copy()
+            if state.shape != (dim,):
+                raise ValueError(f"initial state must have shape ({dim},)")
+        column = state.reshape(dim, 1)
+        for inst in self._instructions:
+            column = apply_gate_to_matrix(column, inst.matrix(), inst.qubits, self.num_qubits)
+        return column.reshape(dim)

@@ -1,0 +1,85 @@
+"""DAG and wire-adjacency views of a circuit.
+
+The DAG view (Section 3 of the paper) has one node per instruction and a
+directed edge for every qubit wire connecting consecutive gates on that
+qubit.  The lighter-weight :class:`WireView` exposes, for each instruction and
+qubit, the previous/next instruction on that qubit — this is what the rewrite
+matcher uses.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.circuits.circuit import Circuit
+
+
+class WireView:
+    """Per-qubit predecessor/successor indices for each instruction."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        n = len(circuit)
+        self._next: list[dict[int, int]] = [dict() for _ in range(n)]
+        self._prev: list[dict[int, int]] = [dict() for _ in range(n)]
+        last_on_qubit: dict[int, int] = {}
+        for index, inst in enumerate(circuit.instructions):
+            for qubit in inst.qubits:
+                previous = last_on_qubit.get(qubit)
+                if previous is not None:
+                    self._next[previous][qubit] = index
+                    self._prev[index][qubit] = previous
+                last_on_qubit[qubit] = index
+
+    def next_on_qubit(self, index: int, qubit: int) -> "int | None":
+        """Index of the next instruction touching ``qubit`` after ``index``."""
+        return self._next[index].get(qubit)
+
+    def prev_on_qubit(self, index: int, qubit: int) -> "int | None":
+        """Index of the previous instruction touching ``qubit`` before ``index``."""
+        return self._prev[index].get(qubit)
+
+    def successors(self, index: int) -> tuple[int, ...]:
+        """All distinct wire successors of an instruction."""
+        return tuple(sorted(set(self._next[index].values())))
+
+    def predecessors(self, index: int) -> tuple[int, ...]:
+        """All distinct wire predecessors of an instruction."""
+        return tuple(sorted(set(self._prev[index].values())))
+
+
+def circuit_to_dag(circuit: Circuit) -> nx.DiGraph:
+    """Build the gate-dependency DAG with instruction indices as nodes."""
+    graph = nx.DiGraph()
+    for index, inst in enumerate(circuit.instructions):
+        graph.add_node(index, instruction=inst)
+    last_on_qubit: dict[int, int] = {}
+    for index, inst in enumerate(circuit.instructions):
+        for qubit in inst.qubits:
+            previous = last_on_qubit.get(qubit)
+            if previous is not None:
+                graph.add_edge(previous, index, qubit=qubit)
+            last_on_qubit[qubit] = index
+    return graph
+
+
+def is_convex_subcircuit(circuit: Circuit, indices: set[int]) -> bool:
+    """Check that ``indices`` form a convex subgraph of the circuit DAG.
+
+    A subgraph is convex when every DAG path between two of its nodes stays
+    inside the subgraph (prior-work definition used by the paper).
+    """
+    if not indices:
+        return True
+    graph = circuit_to_dag(circuit)
+    outside = set(graph.nodes) - set(indices)
+    # A violation exists iff some outside node is both a descendant of an
+    # inside node and an ancestor of an inside node.
+    descendants_of_inside: set[int] = set()
+    for node in indices:
+        descendants_of_inside.update(nx.descendants(graph, node))
+    for node in outside & descendants_of_inside:
+        reachable = nx.descendants(graph, node)
+        if reachable & set(indices):
+            return False
+    return True

@@ -1,0 +1,152 @@
+"""Analytic single-qubit synthesis: Euler-angle decompositions.
+
+Any single-qubit unitary can be written (up to global phase) as
+``RZ(phi) RY(theta) RZ(lam)``.  From the ZYZ angles we derive native-gate
+sequences for each supported gate set:
+
+* ``u3`` for the ibmq20 basis,
+* ``rz / sx`` ("ZSXZSXZ") for the ibm-eagle basis,
+* ``rz / h`` for the Nam basis,
+* ``rz / ry`` for the ionq basis.
+
+These are the building blocks both of the transpiler (lowering circuits into a
+target gate set) and of the "single-qubit resynthesis" rewrite pass used by
+the fixed-pass baselines.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+
+_ATOL = 1e-10
+TWO_PI = 2.0 * math.pi
+
+
+def zyz_angles(unitary: np.ndarray) -> tuple[float, float, float]:
+    """Return ``(theta, phi, lam)`` with ``U ~ RZ(phi) RY(theta) RZ(lam)``.
+
+    The result ignores global phase.  Angles are reduced so that
+    ``theta`` lies in ``[0, pi]``.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    if unitary.shape != (2, 2):
+        raise ValueError("zyz_angles expects a 2x2 matrix")
+    det = np.linalg.det(unitary)
+    su2 = unitary / cmath.sqrt(det)
+
+    theta = 2.0 * math.atan2(abs(su2[1, 0]), abs(su2[0, 0]))
+    if abs(su2[1, 0]) < _ATOL:
+        # Diagonal matrix: only the angle sum is defined.
+        phi = 0.0
+        lam = 2.0 * cmath.phase(su2[1, 1])
+    elif abs(su2[0, 0]) < _ATOL:
+        # Anti-diagonal matrix: only the angle difference is defined.
+        phi = 2.0 * cmath.phase(su2[1, 0])
+        lam = 0.0
+    else:
+        phase_sum = cmath.phase(su2[1, 1])
+        phase_diff = cmath.phase(su2[1, 0])
+        phi = phase_sum + phase_diff
+        lam = phase_sum - phase_diff
+    return theta, _wrap_angle(phi), _wrap_angle(lam)
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap an angle into ``(-pi, pi]``."""
+    wrapped = math.remainder(angle, TWO_PI)
+    return wrapped
+
+
+def u3_circuit(unitary: np.ndarray) -> Circuit:
+    """One-gate ``u3`` circuit implementing ``unitary`` up to global phase."""
+    theta, phi, lam = zyz_angles(unitary)
+    circuit = Circuit(1)
+    if abs(theta) < _ATOL and abs(_wrap_angle(phi + lam)) < _ATOL:
+        return circuit
+    if abs(theta) < _ATOL:
+        return circuit.u1(_wrap_angle(phi + lam), 0)
+    return circuit.u3(theta, phi, lam, 0)
+
+
+def zyz_circuit(unitary: np.ndarray) -> Circuit:
+    """``rz / ry / rz`` circuit (ionq-style 1q basis), skipping identity angles."""
+    theta, phi, lam = zyz_angles(unitary)
+    circuit = Circuit(1)
+    if abs(theta) < _ATOL:
+        total = _wrap_angle(phi + lam)
+        if abs(total) > _ATOL:
+            circuit.rz(total, 0)
+        return circuit
+    if abs(lam) > _ATOL:
+        circuit.rz(lam, 0)
+    circuit.ry(theta, 0)
+    if abs(phi) > _ATOL:
+        circuit.rz(phi, 0)
+    return circuit
+
+
+def zsx_circuit(unitary: np.ndarray) -> Circuit:
+    """``rz / sx`` circuit (ibm-eagle 1q basis).
+
+    Uses ``U3(theta, phi, lam) ~ RZ(phi + pi) SX RZ(theta + pi) SX RZ(lam)``.
+    Special-cases diagonal unitaries (one ``rz``) to keep gate counts low.
+    """
+    theta, phi, lam = zyz_angles(unitary)
+    circuit = Circuit(1)
+    if abs(theta) < _ATOL:
+        total = _wrap_angle(phi + lam)
+        if abs(total) > _ATOL:
+            circuit.rz(total, 0)
+        return circuit
+    circuit.rz(lam, 0)
+    circuit.sx(0)
+    circuit.rz(_wrap_angle(theta + math.pi), 0)
+    circuit.sx(0)
+    circuit.rz(_wrap_angle(phi + math.pi), 0)
+    return circuit
+
+
+def zh_circuit(unitary: np.ndarray) -> Circuit:
+    """``rz / h`` circuit (Nam 1q basis).
+
+    Uses ``RY(theta) = RZ(pi/2) H RZ(theta) H RZ(-pi/2)`` so that
+    ``U ~ RZ(phi + pi/2) H RZ(theta) H RZ(lam - pi/2)``.
+    """
+    theta, phi, lam = zyz_angles(unitary)
+    circuit = Circuit(1)
+    if abs(theta) < _ATOL:
+        total = _wrap_angle(phi + lam)
+        if abs(total) > _ATOL:
+            circuit.rz(total, 0)
+        return circuit
+    first = _wrap_angle(lam - math.pi / 2)
+    last = _wrap_angle(phi + math.pi / 2)
+    if abs(first) > _ATOL:
+        circuit.rz(first, 0)
+    circuit.h(0)
+    circuit.rz(theta, 0)
+    circuit.h(0)
+    if abs(last) > _ATOL:
+        circuit.rz(last, 0)
+    return circuit
+
+
+def one_qubit_circuit(unitary: np.ndarray, basis: str) -> Circuit:
+    """Synthesize a 1-qubit circuit for ``unitary`` in the named basis.
+
+    ``basis`` is one of ``"u3"``, ``"zsx"``, ``"zyz"``, ``"zh"``.
+    """
+    synthesizers = {
+        "u3": u3_circuit,
+        "zsx": zsx_circuit,
+        "zyz": zyz_circuit,
+        "zh": zh_circuit,
+    }
+    if basis not in synthesizers:
+        raise ValueError(f"unknown 1-qubit basis {basis!r}")
+    return synthesizers[basis](unitary)

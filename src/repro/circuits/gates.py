@@ -1,0 +1,407 @@
+"""Gate registry: names, arities, parameter counts, and unitary matrices.
+
+The registry is the single source of truth for gate semantics.  Circuits
+reference gates by (lower-case) name; the :class:`GateSpec` for that name
+provides the unitary matrix given concrete parameter values, inverse
+information, and classification flags used by optimization passes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.linalg import COMPLEX_DTYPE
+
+SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+
+def _mat(rows) -> np.ndarray:
+    return np.array(rows, dtype=COMPLEX_DTYPE)
+
+
+# ---------------------------------------------------------------------------
+# Fixed single-qubit matrices
+# ---------------------------------------------------------------------------
+
+I2 = _mat([[1, 0], [0, 1]])
+X_MAT = _mat([[0, 1], [1, 0]])
+Y_MAT = _mat([[0, -1j], [1j, 0]])
+Z_MAT = _mat([[1, 0], [0, -1]])
+H_MAT = _mat([[SQRT2_INV, SQRT2_INV], [SQRT2_INV, -SQRT2_INV]])
+S_MAT = _mat([[1, 0], [0, 1j]])
+SDG_MAT = _mat([[1, 0], [0, -1j]])
+T_MAT = _mat([[1, 0], [0, np.exp(1j * math.pi / 4)]])
+TDG_MAT = _mat([[1, 0], [0, np.exp(-1j * math.pi / 4)]])
+SX_MAT = 0.5 * _mat([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]])
+SXDG_MAT = 0.5 * _mat([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]])
+
+
+# ---------------------------------------------------------------------------
+# Parameterized single-qubit matrices
+# ---------------------------------------------------------------------------
+
+
+def rx_matrix(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat([[c, -1j * s], [-1j * s, c]])
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat([[c, -s], [s, c]])
+
+
+def rz_matrix(theta: float) -> np.ndarray:
+    return _mat([[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]])
+
+
+def u1_matrix(lam: float) -> np.ndarray:
+    return _mat([[1, 0], [0, np.exp(1j * lam)]])
+
+
+def u2_matrix(phi: float, lam: float) -> np.ndarray:
+    return SQRT2_INV * _mat(
+        [[1, -np.exp(1j * lam)], [np.exp(1j * phi), np.exp(1j * (phi + lam))]]
+    )
+
+
+def u3_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Two-qubit matrices (qubit order: first listed qubit is the most significant)
+# ---------------------------------------------------------------------------
+
+CX_MAT = _mat(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ]
+)
+CZ_MAT = np.diag([1, 1, 1, -1]).astype(COMPLEX_DTYPE)
+CY_MAT = _mat(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, -1j],
+        [0, 0, 1j, 0],
+    ]
+)
+CH_MAT = _mat(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, SQRT2_INV, SQRT2_INV],
+        [0, 0, SQRT2_INV, -SQRT2_INV],
+    ]
+)
+SWAP_MAT = _mat(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ]
+)
+ISWAP_MAT = _mat(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1j, 0],
+        [0, 1j, 0, 0],
+        [0, 0, 0, 1],
+    ]
+)
+
+
+def crx_matrix(theta: float) -> np.ndarray:
+    out = np.eye(4, dtype=COMPLEX_DTYPE)
+    out[2:, 2:] = rx_matrix(theta)
+    return out
+
+
+def cry_matrix(theta: float) -> np.ndarray:
+    out = np.eye(4, dtype=COMPLEX_DTYPE)
+    out[2:, 2:] = ry_matrix(theta)
+    return out
+
+
+def crz_matrix(theta: float) -> np.ndarray:
+    out = np.eye(4, dtype=COMPLEX_DTYPE)
+    out[2:, 2:] = rz_matrix(theta)
+    return out
+
+
+def cp_matrix(lam: float) -> np.ndarray:
+    return np.diag([1, 1, 1, np.exp(1j * lam)]).astype(COMPLEX_DTYPE)
+
+
+def cu3_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    out = np.eye(4, dtype=COMPLEX_DTYPE)
+    out[2:, 2:] = u3_matrix(theta, phi, lam)
+    return out
+
+
+def rxx_matrix(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat(
+        [
+            [c, 0, 0, -1j * s],
+            [0, c, -1j * s, 0],
+            [0, -1j * s, c, 0],
+            [-1j * s, 0, 0, c],
+        ]
+    )
+
+
+def ryy_matrix(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat(
+        [
+            [c, 0, 0, 1j * s],
+            [0, c, -1j * s, 0],
+            [0, -1j * s, c, 0],
+            [1j * s, 0, 0, c],
+        ]
+    )
+
+
+def rzz_matrix(theta: float) -> np.ndarray:
+    phase = np.exp(1j * theta / 2)
+    return np.diag([1 / phase, phase, phase, 1 / phase]).astype(COMPLEX_DTYPE)
+
+
+# ---------------------------------------------------------------------------
+# Three-qubit matrices
+# ---------------------------------------------------------------------------
+
+CCX_MAT = np.eye(8, dtype=COMPLEX_DTYPE)
+CCX_MAT[6, 6], CCX_MAT[7, 7] = 0, 0
+CCX_MAT[6, 7], CCX_MAT[7, 6] = 1, 1
+
+CCZ_MAT = np.diag([1, 1, 1, 1, 1, 1, 1, -1]).astype(COMPLEX_DTYPE)
+
+CSWAP_MAT = np.eye(8, dtype=COMPLEX_DTYPE)
+CSWAP_MAT[5, 5], CSWAP_MAT[6, 6] = 0, 0
+CSWAP_MAT[5, 6], CSWAP_MAT[6, 5] = 1, 1
+
+
+# ---------------------------------------------------------------------------
+# Gate specification and registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate kind.
+
+    Attributes
+    ----------
+    name:
+        Canonical lower-case gate name (e.g. ``"cx"``, ``"rz"``).
+    num_qubits:
+        Arity of the gate.
+    num_params:
+        Number of real (angle) parameters.
+    matrix_fn:
+        Callable mapping the parameter tuple to the unitary matrix.
+    self_inverse:
+        True when applying the gate twice is the identity.
+    inverse_name:
+        Name of the gate implementing the adjoint with the *same* parameters
+        (e.g. ``t`` / ``tdg``); ``None`` when the adjoint requires negated
+        parameters or is the gate itself.
+    is_rotation:
+        True for single-parameter gates satisfying ``G(a) G(b) = G(a + b)``.
+    is_diagonal:
+        True when the unitary is diagonal in the computational basis.
+    is_two_qubit_entangling:
+        True for multi-qubit gates counted by the "2q gate" metrics.
+    """
+
+    name: str
+    num_qubits: int
+    num_params: int
+    matrix_fn: Callable[..., np.ndarray]
+    self_inverse: bool = False
+    inverse_name: "str | None" = None
+    is_rotation: bool = False
+    is_diagonal: bool = False
+    is_two_qubit_entangling: bool = False
+
+    def matrix(self, params: tuple = ()) -> np.ndarray:
+        """Return the unitary for concrete parameter values."""
+        if len(params) != self.num_params:
+            raise ValueError(
+                f"gate {self.name!r} expects {self.num_params} params, got {len(params)}"
+            )
+        if self.num_params == 0:
+            return self.matrix_fn()
+        return self.matrix_fn(*params)
+
+
+_REGISTRY: dict[str, GateSpec] = {}
+
+
+def register_gate(spec: GateSpec) -> GateSpec:
+    """Add a gate to the global registry (idempotent for identical specs)."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing is not spec:
+        raise ValueError(f"gate {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def gate_spec(name: str) -> GateSpec:
+    """Look up a gate by name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError as exc:
+        raise KeyError(f"unknown gate {name!r}") from exc
+
+
+def known_gates() -> tuple[str, ...]:
+    """Names of all registered gates."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _const(matrix: np.ndarray) -> Callable[[], np.ndarray]:
+    return lambda: matrix
+
+
+def _register_defaults() -> None:
+    one_qubit_fixed = [
+        ("id", I2, True, None, True),
+        ("x", X_MAT, True, None, False),
+        ("y", Y_MAT, True, None, False),
+        ("z", Z_MAT, True, None, True),
+        ("h", H_MAT, True, None, False),
+        ("s", S_MAT, False, "sdg", True),
+        ("sdg", SDG_MAT, False, "s", True),
+        ("t", T_MAT, False, "tdg", True),
+        ("tdg", TDG_MAT, False, "t", True),
+        ("sx", SX_MAT, False, "sxdg", False),
+        ("sxdg", SXDG_MAT, False, "sx", False),
+    ]
+    for name, matrix, self_inv, inv_name, diagonal in one_qubit_fixed:
+        register_gate(
+            GateSpec(
+                name=name,
+                num_qubits=1,
+                num_params=0,
+                matrix_fn=_const(matrix),
+                self_inverse=self_inv,
+                inverse_name=inv_name,
+                is_diagonal=diagonal,
+            )
+        )
+
+    rotations = [
+        ("rx", rx_matrix, False),
+        ("ry", ry_matrix, False),
+        ("rz", rz_matrix, True),
+        ("u1", u1_matrix, True),
+        ("p", u1_matrix, True),
+    ]
+    for name, fn, diagonal in rotations:
+        register_gate(
+            GateSpec(
+                name=name,
+                num_qubits=1,
+                num_params=1,
+                matrix_fn=fn,
+                is_rotation=True,
+                is_diagonal=diagonal,
+            )
+        )
+
+    register_gate(GateSpec("u2", 1, 2, u2_matrix))
+    register_gate(GateSpec("u3", 1, 3, u3_matrix))
+    register_gate(GateSpec("u", 1, 3, u3_matrix))
+
+    two_qubit_fixed = [
+        ("cx", CX_MAT, True, None, False),
+        ("cz", CZ_MAT, True, None, True),
+        ("cy", CY_MAT, True, None, False),
+        ("ch", CH_MAT, True, None, False),
+        ("swap", SWAP_MAT, True, None, False),
+        ("iswap", ISWAP_MAT, False, None, False),
+    ]
+    for name, matrix, self_inv, inv_name, diagonal in two_qubit_fixed:
+        register_gate(
+            GateSpec(
+                name=name,
+                num_qubits=2,
+                num_params=0,
+                matrix_fn=_const(matrix),
+                self_inverse=self_inv,
+                inverse_name=inv_name,
+                is_diagonal=diagonal,
+                is_two_qubit_entangling=True,
+            )
+        )
+
+    two_qubit_param = [
+        ("crx", crx_matrix, 1, False),
+        ("cry", cry_matrix, 1, False),
+        ("crz", crz_matrix, 1, True),
+        ("cp", cp_matrix, 1, True),
+        ("cu1", cp_matrix, 1, True),
+        ("rxx", rxx_matrix, 1, False),
+        ("ryy", ryy_matrix, 1, False),
+        ("rzz", rzz_matrix, 1, True),
+        ("cu3", cu3_matrix, 3, False),
+    ]
+    for name, fn, nparams, diagonal in two_qubit_param:
+        register_gate(
+            GateSpec(
+                name=name,
+                num_qubits=2,
+                num_params=nparams,
+                matrix_fn=fn,
+                is_rotation=nparams == 1,
+                is_diagonal=diagonal,
+                is_two_qubit_entangling=True,
+            )
+        )
+
+    three_qubit_fixed = [
+        ("ccx", CCX_MAT, True, None, False),
+        ("ccz", CCZ_MAT, True, None, True),
+        ("cswap", CSWAP_MAT, True, None, False),
+    ]
+    for name, matrix, self_inv, inv_name, diagonal in three_qubit_fixed:
+        register_gate(
+            GateSpec(
+                name=name,
+                num_qubits=3,
+                num_params=0,
+                matrix_fn=_const(matrix),
+                self_inverse=self_inv,
+                inverse_name=inv_name,
+                is_diagonal=diagonal,
+                is_two_qubit_entangling=True,
+            )
+        )
+
+
+_register_defaults()
+
+
+# Names of gates counted as "T-like" for the FTQC objective (Q4).
+T_LIKE_GATES = frozenset({"t", "tdg"})
+
+# Names of single-parameter Z-axis rotations that merge additively.
+Z_ROTATION_GATES = frozenset({"rz", "u1", "p"})

@@ -1,0 +1,53 @@
+"""Circuit-level metrics: distances, equivalence, and reduction ratios."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.utils.linalg import hilbert_schmidt_distance
+
+
+def circuit_distance(circuit_a: Circuit, circuit_b: Circuit) -> float:
+    """Hilbert–Schmidt distance between two circuits' unitaries (Def. 3.2)."""
+    if circuit_a.num_qubits != circuit_b.num_qubits:
+        raise ValueError("circuits must have the same number of qubits")
+    return hilbert_schmidt_distance(circuit_a.unitary(), circuit_b.unitary())
+
+
+def circuits_equivalent(
+    circuit_a: Circuit, circuit_b: Circuit, epsilon: float = 1e-7
+) -> bool:
+    """Approximate circuit equivalence modulo global phase (Def. 3.3)."""
+    return circuit_distance(circuit_a, circuit_b) <= epsilon
+
+
+def unitary_equivalent(
+    unitary_a: np.ndarray, unitary_b: np.ndarray, epsilon: float = 1e-7
+) -> bool:
+    """Approximate equivalence of two unitaries modulo global phase."""
+    return hilbert_schmidt_distance(unitary_a, unitary_b) <= epsilon
+
+
+def gate_reduction(original: Circuit, optimized: Circuit, metric: str = "2q") -> float:
+    """Relative reduction ``1 - optimized/original`` for a count metric.
+
+    ``metric`` is one of ``"2q"`` (multi-qubit gates), ``"t"`` (T gates) or
+    ``"total"`` (all gates).  A circuit whose original count is zero reports a
+    reduction of ``0.0``.
+    """
+    original_count = _metric_count(original, metric)
+    optimized_count = _metric_count(optimized, metric)
+    if original_count == 0:
+        return 0.0
+    return 1.0 - optimized_count / original_count
+
+
+def _metric_count(circuit: Circuit, metric: str) -> int:
+    if metric == "2q":
+        return circuit.two_qubit_count()
+    if metric == "t":
+        return circuit.t_count()
+    if metric == "total":
+        return circuit.size()
+    raise ValueError(f"unknown metric {metric!r} (expected '2q', 't', or 'total')")

@@ -1,0 +1,134 @@
+"""Minimal OpenQASM 2.0 import and export.
+
+Supports the subset of QASM that optimization benchmarks use: ``qreg``
+declarations, gates from the registry (with angle expressions built from
+numbers and ``pi``), and ignores classical registers, measurements, and
+barriers.  This is enough to round-trip every circuit produced by
+``repro.suite`` and to exchange circuits with external toolchains.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.circuits.circuit import Circuit
+
+_HEADER_RE = re.compile(r"OPENQASM\s+[\d.]+\s*;?", re.IGNORECASE)
+_QREG_RE = re.compile(r"qreg\s+(\w+)\s*\[\s*(\d+)\s*\]\s*")
+_CREG_RE = re.compile(r"creg\s+\w+\s*\[\s*\d+\s*\]\s*")
+_GATE_RE = re.compile(r"^(\w+)\s*(?:\(([^)]*)\))?\s+(.+)$")
+_QUBIT_RE = re.compile(r"(\w+)\s*\[\s*(\d+)\s*\]")
+
+_IGNORED_STATEMENTS = ("measure", "barrier", "reset", "if", "include", "creg", "gate")
+
+_GATE_ALIASES = {
+    "cnot": "cx",
+    "toffoli": "ccx",
+    "u0": "id",
+    "phase": "u1",
+}
+
+
+class QasmError(ValueError):
+    """Raised when a QASM program cannot be parsed."""
+
+
+def _eval_angle(expression: str) -> float:
+    """Evaluate a QASM angle expression (numbers, pi, + - * /, parentheses)."""
+    cleaned = expression.strip().lower().replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[0-9eE+\-*/. ()]*", cleaned):
+        raise QasmError(f"unsupported angle expression: {expression!r}")
+    try:
+        return float(eval(cleaned, {"__builtins__": {}}, {}))  # noqa: S307 - sanitised
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QasmError(f"cannot evaluate angle {expression!r}") from exc
+
+
+def loads(text: str, name: str = "") -> Circuit:
+    """Parse an OpenQASM 2.0 program into a :class:`Circuit`."""
+    statements = [
+        statement.strip()
+        for statement in re.sub(r"//[^\n]*", "", text).replace("\n", " ").split(";")
+        if statement.strip()
+    ]
+    registers: dict[str, tuple[int, int]] = {}  # name -> (offset, size)
+    offset = 0
+    instructions: list[tuple[str, list[int], list[float]]] = []
+
+    for statement in statements:
+        if _HEADER_RE.match(statement) or statement.startswith("include"):
+            continue
+        qreg = _QREG_RE.match(statement)
+        if qreg:
+            reg_name, size = qreg.group(1), int(qreg.group(2))
+            registers[reg_name] = (offset, size)
+            offset += size
+            continue
+        if _CREG_RE.match(statement):
+            continue
+        if any(statement.startswith(keyword) for keyword in _IGNORED_STATEMENTS):
+            continue
+        gate_match = _GATE_RE.match(statement)
+        if not gate_match:
+            raise QasmError(f"cannot parse statement: {statement!r}")
+        gate_name = gate_match.group(1).lower()
+        gate_name = _GATE_ALIASES.get(gate_name, gate_name)
+        params_text = gate_match.group(2)
+        params = (
+            [_eval_angle(piece) for piece in params_text.split(",")] if params_text else []
+        )
+        qubits: list[int] = []
+        for reg_name, index_text in _QUBIT_RE.findall(gate_match.group(3)):
+            if reg_name not in registers:
+                raise QasmError(f"unknown register {reg_name!r} in: {statement!r}")
+            reg_offset, size = registers[reg_name]
+            index = int(index_text)
+            if index >= size:
+                raise QasmError(f"qubit index out of range in: {statement!r}")
+            qubits.append(reg_offset + index)
+        instructions.append((gate_name, qubits, params))
+
+    if offset == 0:
+        raise QasmError("program declares no qubits")
+    circuit = Circuit(offset, name=name)
+    for gate_name, qubits, params in instructions:
+        circuit.add(gate_name, qubits, params)
+    return circuit
+
+
+def dumps(circuit: Circuit) -> str:
+    """Serialise a circuit to OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    for inst in circuit.instructions:
+        params = ""
+        if inst.params:
+            params = "(" + ",".join(_format_angle(p) for p in inst.params) + ")"
+        qubits = ",".join(f"q[{qubit}]" for qubit in inst.qubits)
+        lines.append(f"{inst.gate}{params} {qubits};")
+    return "\n".join(lines) + "\n"
+
+
+def _format_angle(value: float) -> str:
+    for multiple, text in ((1.0, "pi"), (0.5, "pi/2"), (0.25, "pi/4"), (2.0, "2*pi")):
+        if abs(value - multiple * math.pi) < 1e-12:
+            return text
+        if abs(value + multiple * math.pi) < 1e-12:
+            return "-" + text
+    return repr(value)
+
+
+def load_file(path: str) -> Circuit:
+    """Parse a QASM file from disk."""
+    with open(path) as handle:
+        return loads(handle.read(), name=path)
+
+
+def dump_file(circuit: Circuit, path: str) -> None:
+    """Write a circuit to a QASM file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(circuit))

@@ -1,0 +1,55 @@
+"""GUOQ: the paper's primary contribution — the unified optimization framework."""
+
+from repro.core.guoq import (
+    GuoqConfig,
+    GuoqOptimizer,
+    GuoqResult,
+    SearchHistoryPoint,
+    guoq,
+)
+from repro.core.instantiate import (
+    default_objective,
+    default_transformations,
+    optimize_circuit,
+)
+from repro.core.objectives import (
+    CostFunction,
+    DepthCost,
+    FTQC_DEFAULT_OBJECTIVE,
+    NegativeLogFidelity,
+    TCount,
+    TotalGateCount,
+    TwoQubitGateCount,
+    WeightedGateCount,
+)
+from repro.core.transformations import (
+    ResynthesisTransformation,
+    RewriteTransformation,
+    Transformation,
+    TransformationResult,
+    rewrite_transformations,
+)
+
+__all__ = [
+    "CostFunction",
+    "DepthCost",
+    "FTQC_DEFAULT_OBJECTIVE",
+    "GuoqConfig",
+    "GuoqOptimizer",
+    "GuoqResult",
+    "NegativeLogFidelity",
+    "ResynthesisTransformation",
+    "RewriteTransformation",
+    "SearchHistoryPoint",
+    "TCount",
+    "TotalGateCount",
+    "Transformation",
+    "TransformationResult",
+    "TwoQubitGateCount",
+    "WeightedGateCount",
+    "default_objective",
+    "default_transformations",
+    "guoq",
+    "optimize_circuit",
+    "rewrite_transformations",
+]

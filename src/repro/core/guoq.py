@@ -1,0 +1,220 @@
+"""The GUOQ algorithm (Algorithm 1): randomized search over transformations.
+
+GUOQ maintains a single candidate circuit and repeatedly
+
+1. samples a transformation (resynthesis with small probability, otherwise a
+   uniformly random rewrite rule — Section 5.3),
+2. skips it when its epsilon would exceed the remaining error budget (line 6),
+3. applies it (rewrites as a full pass, resynthesis to one random convex
+   block),
+4. accepts the result if the cost does not increase, and otherwise accepts it
+   with the small simulated-annealing probability ``exp(-t * cost'/cost)``.
+
+The best circuit seen so far is tracked and returned, so the algorithm is an
+anytime optimizer — interrupting it at the time limit yields a valid result
+whose total error is bounded by the accumulated epsilons (Theorems 4.2/5.3).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.core.objectives import CostFunction, TwoQubitGateCount
+from repro.core.transformations import (
+    ResynthesisTransformation,
+    RewriteTransformation,
+    Transformation,
+)
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class GuoqConfig:
+    """Tunable parameters of the GUOQ search.
+
+    Attributes mirror the paper's experimental setup: an error budget
+    ``epsilon_budget`` (the hard constraint), temperature ``temperature = 10``
+    (very small probability of accepting a worse candidate), and a resynthesis
+    sampling probability of 1.5%.
+    """
+
+    epsilon_budget: float = 1e-6
+    temperature: float = 10.0
+    resynthesis_probability: float = 0.015
+    time_limit: float = 10.0
+    max_iterations: "int | None" = None
+    seed: "int | None" = None
+    track_history: bool = True
+
+
+@dataclass
+class SearchHistoryPoint:
+    """One improvement event: when the incumbent best cost dropped."""
+
+    elapsed: float
+    iteration: int
+    cost: float
+    two_qubit_count: int
+    total_count: int
+
+
+@dataclass
+class GuoqResult:
+    """Result of a GUOQ run."""
+
+    best_circuit: Circuit
+    best_cost: float
+    initial_cost: float
+    error_bound: float
+    iterations: int
+    elapsed: float
+    accepted: int
+    rejected: int
+    skipped_budget: int
+    history: list[SearchHistoryPoint] = field(default_factory=list)
+    applications_by_transformation: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cost_reduction(self) -> float:
+        """Relative reduction of the objective, ``1 - best/initial``."""
+        if self.initial_cost == 0:
+            return 0.0
+        return 1.0 - self.best_cost / self.initial_cost
+
+
+class GuoqOptimizer:
+    """Reusable GUOQ driver bound to a transformation set and cost function."""
+
+    def __init__(
+        self,
+        transformations: list[Transformation],
+        cost: "CostFunction | None" = None,
+        config: "GuoqConfig | None" = None,
+    ) -> None:
+        if not transformations:
+            raise ValueError("GUOQ needs at least one transformation")
+        self.transformations = list(transformations)
+        self.cost = cost if cost is not None else TwoQubitGateCount()
+        self.config = config if config is not None else GuoqConfig()
+        self._rewrites = [
+            t for t in self.transformations if isinstance(t, RewriteTransformation)
+        ]
+        self._resynths = [
+            t for t in self.transformations if not isinstance(t, RewriteTransformation)
+        ]
+
+    # -- transformation sampling (Section 5.3, "Weighing fast & slow") -------
+
+    def _sample_transformation(self, rng: np.random.Generator) -> Transformation:
+        if self._resynths and (
+            not self._rewrites or rng.random() < self.config.resynthesis_probability
+        ):
+            return self._resynths[int(rng.integers(0, len(self._resynths)))]
+        return self._rewrites[int(rng.integers(0, len(self._rewrites)))]
+
+    # -- main loop (Algorithm 1) ---------------------------------------------
+
+    def optimize(self, circuit: Circuit) -> GuoqResult:
+        """Run the search on ``circuit`` until the time/iteration limit."""
+        config = self.config
+        rng = ensure_rng(config.seed)
+        start = time.monotonic()
+
+        current = circuit
+        best = circuit
+        cost_current = self.cost(circuit)
+        cost_best = cost_current
+        initial_cost = cost_current
+        error_current = 0.0
+        error_best = 0.0
+
+        iterations = accepted = rejected = skipped = 0
+        history: list[SearchHistoryPoint] = []
+        applications: dict[str, int] = {}
+        if config.track_history:
+            history.append(self._history_point(0.0, 0, cost_best, best))
+
+        while True:
+            elapsed = time.monotonic() - start
+            if elapsed >= config.time_limit:
+                break
+            if config.max_iterations is not None and iterations >= config.max_iterations:
+                break
+            iterations += 1
+
+            transformation = self._sample_transformation(rng)
+            if error_current + transformation.epsilon > config.epsilon_budget:
+                skipped += 1
+                continue
+            result = transformation.apply(current, rng)
+            if result is None:
+                continue
+
+            cost_candidate = self.cost(result.circuit)
+            accept = cost_candidate <= cost_current
+            if not accept and cost_current > 0:
+                probability = math.exp(
+                    -config.temperature * cost_candidate / cost_current
+                )
+                accept = rng.random() < probability
+            if not accept:
+                rejected += 1
+                continue
+
+            accepted += 1
+            applications[transformation.name] = applications.get(transformation.name, 0) + 1
+            current = result.circuit
+            cost_current = cost_candidate
+            error_current += result.charged_epsilon
+
+            if cost_current < cost_best:
+                best = current
+                cost_best = cost_current
+                error_best = error_current
+                if config.track_history:
+                    history.append(
+                        self._history_point(
+                            time.monotonic() - start, iterations, cost_best, best
+                        )
+                    )
+
+        return GuoqResult(
+            best_circuit=best,
+            best_cost=cost_best,
+            initial_cost=initial_cost,
+            error_bound=error_best,
+            iterations=iterations,
+            elapsed=time.monotonic() - start,
+            accepted=accepted,
+            rejected=rejected,
+            skipped_budget=skipped,
+            history=history,
+            applications_by_transformation=applications,
+        )
+
+    @staticmethod
+    def _history_point(
+        elapsed: float, iteration: int, cost: float, circuit: Circuit
+    ) -> SearchHistoryPoint:
+        return SearchHistoryPoint(
+            elapsed=elapsed,
+            iteration=iteration,
+            cost=cost,
+            two_qubit_count=circuit.two_qubit_count(),
+            total_count=circuit.size(),
+        )
+
+
+def guoq(
+    circuit: Circuit,
+    transformations: list[Transformation],
+    cost: "CostFunction | None" = None,
+    config: "GuoqConfig | None" = None,
+) -> GuoqResult:
+    """Functional entry point matching Algorithm 1's signature."""
+    return GuoqOptimizer(transformations, cost=cost, config=config).optimize(circuit)

@@ -1,0 +1,31 @@
+"""Target gate sets (Table 2) and circuit lowering."""
+
+from repro.gatesets.base import (
+    ALL_GATE_SETS,
+    CLIFFORD_T,
+    IBM_EAGLE,
+    IBMQ20,
+    IONQ,
+    NAM,
+    GateSet,
+    get_gate_set,
+)
+from repro.gatesets.decompose import (
+    DecompositionError,
+    decompose_to_gate_set,
+    expand_to_cx_and_1q,
+)
+
+__all__ = [
+    "ALL_GATE_SETS",
+    "CLIFFORD_T",
+    "DecompositionError",
+    "GateSet",
+    "IBMQ20",
+    "IBM_EAGLE",
+    "IONQ",
+    "NAM",
+    "decompose_to_gate_set",
+    "expand_to_cx_and_1q",
+    "get_gate_set",
+]

@@ -1,0 +1,114 @@
+"""Gate-set abstraction and the five gate sets evaluated in the paper (Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class GateSet:
+    """A named target gate set.
+
+    Attributes
+    ----------
+    name:
+        Identifier used throughout the evaluation (e.g. ``"ibm-eagle"``).
+    gates:
+        Names of the allowed gates.
+    architecture:
+        Informal hardware family label (Table 2).
+    parameterized:
+        True when the set contains continuously parameterized gates (so
+        numerical resynthesis applies); False for finite sets (Clifford+T)
+        where search-based synthesis is required.
+    entangling_gate:
+        The two-qubit gate used when lowering circuits into this set.
+    one_qubit_basis:
+        Euler basis keyword (see :mod:`repro.circuits.euler`) used for
+        single-qubit lowering and resynthesis.
+    """
+
+    name: str
+    gates: frozenset[str]
+    architecture: str
+    parameterized: bool
+    entangling_gate: str
+    one_qubit_basis: str
+
+    def __contains__(self, gate_name: str) -> bool:
+        return gate_name.lower() in self.gates
+
+    def contains_circuit(self, circuit: Circuit) -> bool:
+        """True when every instruction in ``circuit`` uses an allowed gate."""
+        return all(inst.gate in self.gates for inst in circuit)
+
+    def violations(self, circuit: Circuit) -> dict[str, int]:
+        """Histogram of gates in ``circuit`` that are outside the set."""
+        out: dict[str, int] = {}
+        for inst in circuit:
+            if inst.gate not in self.gates:
+                out[inst.gate] = out.get(inst.gate, 0) + 1
+        return out
+
+
+IBMQ20 = GateSet(
+    name="ibmq20",
+    gates=frozenset({"u1", "u2", "u3", "cx", "id"}),
+    architecture="superconducting",
+    parameterized=True,
+    entangling_gate="cx",
+    one_qubit_basis="u3",
+)
+
+IBM_EAGLE = GateSet(
+    name="ibm-eagle",
+    gates=frozenset({"rz", "sx", "x", "cx", "id"}),
+    architecture="superconducting",
+    parameterized=True,
+    entangling_gate="cx",
+    one_qubit_basis="zsx",
+)
+
+IONQ = GateSet(
+    name="ionq",
+    gates=frozenset({"rx", "ry", "rz", "rxx", "id"}),
+    architecture="ion trap",
+    parameterized=True,
+    entangling_gate="rxx",
+    one_qubit_basis="zyz",
+)
+
+NAM = GateSet(
+    name="nam",
+    gates=frozenset({"rz", "h", "x", "cx", "id"}),
+    architecture="none",
+    parameterized=True,
+    entangling_gate="cx",
+    one_qubit_basis="zh",
+)
+
+CLIFFORD_T = GateSet(
+    name="clifford+t",
+    gates=frozenset({"t", "tdg", "s", "sdg", "z", "h", "x", "cx", "id"}),
+    architecture="fault tolerant",
+    parameterized=False,
+    entangling_gate="cx",
+    one_qubit_basis="zh",
+)
+
+ALL_GATE_SETS: dict[str, GateSet] = {
+    gate_set.name: gate_set
+    for gate_set in (IBMQ20, IBM_EAGLE, IONQ, NAM, CLIFFORD_T)
+}
+
+
+def get_gate_set(name: str) -> GateSet:
+    """Look up one of the predefined gate sets by name."""
+    key = name.lower()
+    if key not in ALL_GATE_SETS:
+        raise KeyError(
+            f"unknown gate set {name!r}; known: {sorted(ALL_GATE_SETS)}"
+        )
+    return ALL_GATE_SETS[key]

@@ -1,0 +1,318 @@
+"""Lowering (transpiling) circuits into a target gate set.
+
+The evaluation in the paper always feeds each optimizer a circuit *already
+decomposed into the target gate set*; this module provides that lowering.
+
+Lowering happens in two stages:
+
+1. multi-qubit and exotic gates are expanded into ``cx`` plus single-qubit
+   gates using standard textbook decompositions;
+2. single-qubit gates outside the set are rewritten into the set's native
+   one-qubit basis — analytically (Euler angles) for parameterized sets, and
+   via an angle table (multiples of pi/4) for Clifford+T.
+
+Every expansion used here is exact (up to global phase) and covered by
+round-trip unit tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import Circuit, Instruction, instruction
+from repro.gatesets.base import GateSet
+
+_ATOL = 1e-9
+PI = math.pi
+
+
+class DecompositionError(ValueError):
+    """Raised when a gate cannot be lowered into the requested gate set."""
+
+
+# ---------------------------------------------------------------------------
+# Stage A: expand multi-qubit / exotic gates into cx + 1q gates
+# ---------------------------------------------------------------------------
+
+
+def _expand_cz(a: int, b: int, params) -> list[tuple]:
+    return [("h", [b]), ("cx", [a, b]), ("h", [b])]
+
+
+def _expand_cy(a: int, b: int, params) -> list[tuple]:
+    return [("sdg", [b]), ("cx", [a, b]), ("s", [b])]
+
+
+def _expand_ch(a: int, b: int, params) -> list[tuple]:
+    return [
+        ("s", [b]),
+        ("h", [b]),
+        ("t", [b]),
+        ("cx", [a, b]),
+        ("tdg", [b]),
+        ("h", [b]),
+        ("sdg", [b]),
+    ]
+
+
+def _expand_swap(a: int, b: int, params) -> list[tuple]:
+    return [("cx", [a, b]), ("cx", [b, a]), ("cx", [a, b])]
+
+
+def _expand_iswap(a: int, b: int, params) -> list[tuple]:
+    return [
+        ("s", [a]),
+        ("s", [b]),
+        ("h", [a]),
+        ("cx", [a, b]),
+        ("cx", [b, a]),
+        ("h", [b]),
+    ]
+
+
+def _expand_cp(a: int, b: int, params) -> list[tuple]:
+    (lam,) = params
+    return [
+        ("u1", [a], [lam / 2]),
+        ("cx", [a, b]),
+        ("u1", [b], [-lam / 2]),
+        ("cx", [a, b]),
+        ("u1", [b], [lam / 2]),
+    ]
+
+
+def _expand_crz(a: int, b: int, params) -> list[tuple]:
+    (theta,) = params
+    return [
+        ("rz", [b], [theta / 2]),
+        ("cx", [a, b]),
+        ("rz", [b], [-theta / 2]),
+        ("cx", [a, b]),
+    ]
+
+
+def _expand_crx(a: int, b: int, params) -> list[tuple]:
+    (theta,) = params
+    return [("h", [b])] + _expand_crz(a, b, [theta]) + [("h", [b])]
+
+
+def _expand_cry(a: int, b: int, params) -> list[tuple]:
+    (theta,) = params
+    return [
+        ("ry", [b], [theta / 2]),
+        ("cx", [a, b]),
+        ("ry", [b], [-theta / 2]),
+        ("cx", [a, b]),
+    ]
+
+
+def _expand_cu3(a: int, b: int, params) -> list[tuple]:
+    theta, phi, lam = params
+    return [
+        ("u1", [a], [(lam + phi) / 2]),
+        ("u1", [b], [(lam - phi) / 2]),
+        ("cx", [a, b]),
+        ("u3", [b], [-theta / 2, 0.0, -(phi + lam) / 2]),
+        ("cx", [a, b]),
+        ("u3", [b], [theta / 2, phi, 0.0]),
+    ]
+
+
+def _expand_rzz(a: int, b: int, params) -> list[tuple]:
+    (theta,) = params
+    return [("cx", [a, b]), ("rz", [b], [theta]), ("cx", [a, b])]
+
+
+def _expand_rxx(a: int, b: int, params) -> list[tuple]:
+    (theta,) = params
+    return (
+        [("h", [a]), ("h", [b])]
+        + _expand_rzz(a, b, [theta])
+        + [("h", [a]), ("h", [b])]
+    )
+
+
+def _expand_ryy(a: int, b: int, params) -> list[tuple]:
+    (theta,) = params
+    return (
+        [("rx", [a], [PI / 2]), ("rx", [b], [PI / 2])]
+        + _expand_rzz(a, b, [theta])
+        + [("rx", [a], [-PI / 2]), ("rx", [b], [-PI / 2])]
+    )
+
+
+def _expand_ccx(a: int, b: int, c: int, params) -> list[tuple]:
+    return [
+        ("h", [c]),
+        ("cx", [b, c]),
+        ("tdg", [c]),
+        ("cx", [a, c]),
+        ("t", [c]),
+        ("cx", [b, c]),
+        ("tdg", [c]),
+        ("cx", [a, c]),
+        ("t", [b]),
+        ("t", [c]),
+        ("h", [c]),
+        ("cx", [a, b]),
+        ("t", [a]),
+        ("tdg", [b]),
+        ("cx", [a, b]),
+    ]
+
+
+def _expand_ccz(a: int, b: int, c: int, params) -> list[tuple]:
+    return [("h", [c])] + _expand_ccx(a, b, c, params) + [("h", [c])]
+
+
+def _expand_cswap(a: int, b: int, c: int, params) -> list[tuple]:
+    return [("cx", [c, b])] + _expand_ccx(a, b, c, params) + [("cx", [c, b])]
+
+
+_TWO_QUBIT_EXPANSIONS = {
+    "cz": _expand_cz,
+    "cy": _expand_cy,
+    "ch": _expand_ch,
+    "swap": _expand_swap,
+    "iswap": _expand_iswap,
+    "cp": _expand_cp,
+    "cu1": _expand_cp,
+    "crz": _expand_crz,
+    "crx": _expand_crx,
+    "cry": _expand_cry,
+    "cu3": _expand_cu3,
+    "rzz": _expand_rzz,
+    "rxx": _expand_rxx,
+    "ryy": _expand_ryy,
+}
+
+_THREE_QUBIT_EXPANSIONS = {
+    "ccx": _expand_ccx,
+    "ccz": _expand_ccz,
+    "cswap": _expand_cswap,
+}
+
+
+def _expand_cx_to_rxx(a: int, b: int) -> list[tuple]:
+    """CX in the ion-trap native set: one Molmer–Sorensen (rxx) interaction."""
+    return [
+        ("ry", [a], [PI / 2]),
+        ("rxx", [a, b], [PI / 2]),
+        ("rx", [a], [-PI / 2]),
+        ("rx", [b], [-PI / 2]),
+        ("ry", [a], [-PI / 2]),
+    ]
+
+
+def expand_to_cx_and_1q(circuit: Circuit) -> Circuit:
+    """Stage A: rewrite the circuit so it only contains ``cx`` and 1q gates."""
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    pending = list(circuit.instructions)
+    while pending:
+        inst = pending.pop(0)
+        if len(inst.qubits) == 1 or inst.gate == "cx":
+            out.append(inst)
+            continue
+        if inst.gate in _TWO_QUBIT_EXPANSIONS:
+            pieces = _TWO_QUBIT_EXPANSIONS[inst.gate](*inst.qubits, inst.params)
+        elif inst.gate in _THREE_QUBIT_EXPANSIONS:
+            pieces = _THREE_QUBIT_EXPANSIONS[inst.gate](*inst.qubits, inst.params)
+        else:
+            raise DecompositionError(f"no expansion known for gate {inst.gate!r}")
+        expanded = [
+            instruction(name, qubits, args[0] if args else ())
+            for name, qubits, *args in pieces
+        ]
+        pending = expanded + pending
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Stage B: single-qubit conversion
+# ---------------------------------------------------------------------------
+
+
+def _clifford_t_phase_sequence(angle: float) -> list[str]:
+    """Express ``rz(angle)`` (up to phase) as T/S/Z gates; angle must be k*pi/4."""
+    steps = angle / (PI / 4)
+    k = round(steps)
+    if abs(steps - k) > 1e-7:
+        raise DecompositionError(
+            f"rotation angle {angle} is not a multiple of pi/4; "
+            "cannot lower exactly into Clifford+T"
+        )
+    k %= 8
+    table = {
+        0: [],
+        1: ["t"],
+        2: ["s"],
+        3: ["s", "t"],
+        4: ["z"],
+        5: ["z", "t"],
+        6: ["sdg"],
+        7: ["tdg"],
+    }
+    return table[k]
+
+
+def _convert_1q_clifford_t(inst: Instruction) -> list[Instruction]:
+    gate, qubit = inst.gate, inst.qubits[0]
+    if gate in {"t", "tdg", "s", "sdg", "z", "h", "x", "id"}:
+        return [inst]
+    if gate == "y":
+        return [instruction("z", [qubit]), instruction("x", [qubit])]
+    if gate == "sx":
+        return [instruction(name, [qubit]) for name in ("h", "s", "h")]
+    if gate == "sxdg":
+        return [instruction(name, [qubit]) for name in ("h", "sdg", "h")]
+    if gate in {"rz", "u1", "p"}:
+        return [instruction(name, [qubit]) for name in _clifford_t_phase_sequence(inst.params[0])]
+    if gate == "rx":
+        inner = _clifford_t_phase_sequence(inst.params[0])
+        return [
+            instruction(name, [qubit]) for name in (["h"] + inner + ["h"])
+        ]
+    if gate == "ry":
+        inner = _clifford_t_phase_sequence(inst.params[0])
+        return [
+            instruction(name, [qubit]) for name in (["sdg", "h"] + inner + ["h", "s"])
+        ]
+    raise DecompositionError(
+        f"gate {gate!r} with params {inst.params} cannot be lowered exactly into Clifford+T"
+    )
+
+
+def _convert_1q_parameterized(inst: Instruction, gate_set: GateSet) -> list[Instruction]:
+    # Imported lazily: repro.synthesis re-exports resynthesis wrappers that in
+    # turn depend on this module, so a module-level import would be circular.
+    from repro.circuits.euler import one_qubit_circuit
+
+    native = one_qubit_circuit(inst.matrix(), gate_set.one_qubit_basis)
+    return [piece.remapped({0: inst.qubits[0]}) for piece in native.instructions]
+
+
+def decompose_to_gate_set(circuit: Circuit, gate_set: GateSet) -> Circuit:
+    """Lower ``circuit`` into ``gate_set`` exactly (up to global phase)."""
+    lowered = expand_to_cx_and_1q(circuit)
+
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    for inst in lowered:
+        if inst.gate in gate_set and not (
+            gate_set.name == "clifford+t" and inst.gate in {"rz", "u1", "p"}
+        ):
+            out.append(inst)
+            continue
+        if inst.gate == "cx" and gate_set.entangling_gate == "rxx":
+            for name, qubits, *args in _expand_cx_to_rxx(*inst.qubits):
+                out.append(instruction(name, qubits, args[0] if args else ()))
+            continue
+        if len(inst.qubits) != 1:
+            raise DecompositionError(
+                f"two-qubit gate {inst.gate!r} is not supported by gate set {gate_set.name!r}"
+            )
+        if gate_set.parameterized:
+            converted = _convert_1q_parameterized(inst, gate_set)
+        else:
+            converted = _convert_1q_clifford_t(inst)
+        out.extend(converted)
+    return out

@@ -1,0 +1,17 @@
+"""Noise models and the circuit-fidelity metric."""
+
+from repro.noise.devices import (
+    FTQC_LOGICAL,
+    IBM_WASHINGTON_LIKE,
+    IONQ_FORTE_LIKE,
+    DeviceModel,
+    device_for_gate_set,
+)
+
+__all__ = [
+    "DeviceModel",
+    "FTQC_LOGICAL",
+    "IBM_WASHINGTON_LIKE",
+    "IONQ_FORTE_LIKE",
+    "device_for_gate_set",
+]

@@ -1,0 +1,35 @@
+"""Rewrite rules: the fast, exact transformations of the unified framework."""
+
+from repro.rewrite.commutation import (
+    commutes_with_cx,
+    commutes_with_x_on,
+    commutes_with_z_on,
+)
+from repro.rewrite.library import rules_for_gate_set
+from repro.rewrite.rules import (
+    CancelAdjacentSelfInverseTwoQubit,
+    CancelInverseOneQubitPairs,
+    FuseOneQubitRuns,
+    MergePhaseGates,
+    MergeRotations,
+    RemoveIdentityGates,
+    RewriteRule,
+    SequencePatternRule,
+    apply_until_fixpoint,
+)
+
+__all__ = [
+    "CancelAdjacentSelfInverseTwoQubit",
+    "CancelInverseOneQubitPairs",
+    "FuseOneQubitRuns",
+    "MergePhaseGates",
+    "MergeRotations",
+    "RemoveIdentityGates",
+    "RewriteRule",
+    "SequencePatternRule",
+    "apply_until_fixpoint",
+    "commutes_with_cx",
+    "commutes_with_x_on",
+    "commutes_with_z_on",
+    "rules_for_gate_set",
+]

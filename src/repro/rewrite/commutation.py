@@ -1,0 +1,81 @@
+"""Gate commutation predicates used by commutation-aware rewrite passes.
+
+The passes only ever need two questions answered:
+
+* does this instruction commute with a Z-axis rotation on qubit ``q``?
+  (true for diagonal gates and for a CX *control* on ``q`` — Fig. 3c)
+* does this instruction commute with an X-axis rotation on qubit ``q``?
+  (true for X-like gates and for a CX *target* on ``q``)
+
+Both are sufficient conditions; returning ``False`` merely stops a scan early
+and can never produce an incorrect rewrite.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Instruction
+
+_Z_DIAGONAL_GATES = {
+    "id",
+    "z",
+    "s",
+    "sdg",
+    "t",
+    "tdg",
+    "rz",
+    "u1",
+    "p",
+    "cz",
+    "cp",
+    "cu1",
+    "crz",
+    "rzz",
+    "ccz",
+}
+
+_X_LIKE_GATES = {"id", "x", "rx", "sx", "sxdg", "rxx"}
+
+
+def commutes_with_z_on(inst: Instruction, qubit: int) -> bool:
+    """True when ``inst`` commutes with any Z rotation on ``qubit``."""
+    if qubit not in inst.qubits:
+        return True
+    if inst.gate in _Z_DIAGONAL_GATES:
+        return True
+    if inst.gate == "cx" and inst.qubits[0] == qubit:
+        return True
+    if inst.gate == "ccx" and qubit in inst.qubits[:2]:
+        return True
+    return False
+
+
+def commutes_with_x_on(inst: Instruction, qubit: int) -> bool:
+    """True when ``inst`` commutes with any X rotation on ``qubit``."""
+    if qubit not in inst.qubits:
+        return True
+    if inst.gate in _X_LIKE_GATES:
+        return True
+    if inst.gate == "cx" and inst.qubits[1] == qubit:
+        return True
+    if inst.gate == "ccx" and inst.qubits[2] == qubit:
+        return True
+    return False
+
+
+def commutes_with_cx(inst: Instruction, control: int, target: int) -> bool:
+    """True when ``inst`` commutes with ``cx(control, target)``.
+
+    Checks the control wire against Z commutation and the target wire against
+    X commutation; an instruction touching both wires must satisfy both (which
+    a second identical CX does).
+    """
+    if control not in inst.qubits and target not in inst.qubits:
+        return True
+    if inst.gate == "cx" and inst.qubits == (control, target):
+        return True
+    ok = True
+    if control in inst.qubits:
+        ok = ok and commutes_with_z_on(inst, control)
+    if target in inst.qubits:
+        ok = ok and commutes_with_x_on(inst, target)
+    return ok

@@ -1,0 +1,91 @@
+"""Per-gate-set rewrite-rule libraries.
+
+The paper instantiates GUOQ with rules synthesized by QUESO for each gate
+set.  This module plays that role: :func:`rules_for_gate_set` returns the
+rule set whose patterns and replacements stay inside the given gate set, so a
+circuit already lowered into the set remains in the set after any rewrite.
+"""
+
+from __future__ import annotations
+
+from repro.gatesets.base import GateSet
+from repro.rewrite.rules import (
+    CancelAdjacentSelfInverseTwoQubit,
+    CancelInverseOneQubitPairs,
+    FuseOneQubitRuns,
+    MergePhaseGates,
+    MergeRotations,
+    RemoveIdentityGates,
+    RewriteRule,
+    SequencePatternRule,
+)
+
+
+def rules_for_gate_set(gate_set: GateSet) -> list[RewriteRule]:
+    """Return the rewrite rules applicable to circuits in ``gate_set``."""
+    name = gate_set.name
+    if name == "ibmq20":
+        return _ibmq20_rules()
+    if name == "ibm-eagle":
+        return _ibm_eagle_rules()
+    if name == "ionq":
+        return _ionq_rules()
+    if name == "nam":
+        return _nam_rules()
+    if name == "clifford+t":
+        return _clifford_t_rules()
+    raise KeyError(f"no rewrite-rule library for gate set {gate_set.name!r}")
+
+
+def _ibmq20_rules() -> list[RewriteRule]:
+    return [
+        RemoveIdentityGates(),
+        MergeRotations(["u1"]),
+        CancelAdjacentSelfInverseTwoQubit(["cx"]),
+        FuseOneQubitRuns("u3"),
+    ]
+
+
+def _ibm_eagle_rules() -> list[RewriteRule]:
+    return [
+        RemoveIdentityGates(),
+        MergeRotations(["rz"]),
+        CancelInverseOneQubitPairs(["x"]),
+        SequencePatternRule(["sx", "sx"], ["x"]),
+        CancelAdjacentSelfInverseTwoQubit(["cx"]),
+        FuseOneQubitRuns("zsx"),
+    ]
+
+
+def _ionq_rules() -> list[RewriteRule]:
+    return [
+        RemoveIdentityGates(),
+        MergeRotations(["rz"]),
+        MergeRotations(["rx"], use_commutation=True),
+        MergeRotations(["ry"], use_commutation=False),
+        MergeRotations(["rxx"], use_commutation=False),
+        FuseOneQubitRuns("zyz"),
+    ]
+
+
+def _nam_rules() -> list[RewriteRule]:
+    return [
+        RemoveIdentityGates(),
+        MergeRotations(["rz"]),
+        CancelInverseOneQubitPairs(["h", "x"]),
+        CancelAdjacentSelfInverseTwoQubit(["cx"]),
+        FuseOneQubitRuns("zh"),
+    ]
+
+
+def _clifford_t_rules() -> list[RewriteRule]:
+    return [
+        RemoveIdentityGates(),
+        MergePhaseGates(),
+        CancelInverseOneQubitPairs(["h", "x", "s", "sdg", "t", "tdg", "z"]),
+        CancelAdjacentSelfInverseTwoQubit(["cx"]),
+        SequencePatternRule(["h", "x", "h"], ["z"]),
+        SequencePatternRule(["h", "z", "h"], ["x"]),
+        SequencePatternRule(["h", "s", "h", "s", "h"], ["sdg"], name="reduce_hshsh"),
+        SequencePatternRule(["h", "sdg", "h", "sdg", "h"], ["s"], name="reduce_hsdghsdgh"),
+    ]

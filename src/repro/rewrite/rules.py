@@ -1,0 +1,440 @@
+"""Rewrite rules: fast, exact (epsilon = 0) peephole transformations.
+
+Each rule implements :meth:`RewriteRule.apply_pass`, which performs one full
+pass over the circuit replacing every disjoint match — exactly the way GUOQ
+applies rewrite-rule transformations (Section 5.3: "starting at a random node
+and performing a full pass through the circuit").  All rules preserve the
+circuit unitary up to global phase, which the test suite verifies both on
+hand-written cases and property-based random circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit, Instruction, instruction
+from repro.rewrite.commutation import (
+    commutes_with_cx,
+    commutes_with_x_on,
+    commutes_with_z_on,
+)
+from repro.circuits.euler import one_qubit_circuit
+
+TWO_PI = 2.0 * math.pi
+_ATOL = 1e-10
+
+# Z-axis phase-like gates expressed as multiples of pi/4 (used by the
+# Clifford+T phase-merging rule).
+_PHASE_EIGHTHS = {"z": 4, "s": 2, "sdg": 6, "t": 1, "tdg": 7}
+
+
+class RewriteRule:
+    """Base class for exact rewrite rules."""
+
+    #: rewrite rules never approximate the circuit
+    epsilon: float = 0.0
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+    def apply_pass(self, circuit: Circuit) -> tuple[Circuit, int]:
+        """Apply the rule to every disjoint match; return (circuit, #rewrites)."""
+        raise NotImplementedError
+
+
+class _EditPass:
+    """Helper collecting removals / in-place replacements during a scan."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.removed: set[int] = set()
+        self.replacements: dict[int, list[Instruction]] = {}
+        self.count = 0
+
+    def remove(self, index: int) -> None:
+        self.removed.add(index)
+
+    def replace(self, index: int, new_instructions: list[Instruction]) -> None:
+        self.replacements[index] = new_instructions
+
+    def touched(self, index: int) -> bool:
+        return index in self.removed or index in self.replacements
+
+    def build(self) -> tuple[Circuit, int]:
+        if not self.removed and not self.replacements:
+            return self.circuit, 0
+        out = Circuit(self.circuit.num_qubits, name=self.circuit.name)
+        for index, inst in enumerate(self.circuit.instructions):
+            if index in self.removed:
+                continue
+            if index in self.replacements:
+                out.extend(self.replacements[index])
+            else:
+                out.append(inst)
+        return out, self.count
+
+
+class RemoveIdentityGates(RewriteRule):
+    """Drop ``id`` gates and zero-angle rotations."""
+
+    def __init__(self) -> None:
+        super().__init__("remove_identity")
+
+    def apply_pass(self, circuit: Circuit) -> tuple[Circuit, int]:
+        edit = _EditPass(circuit)
+        for index, inst in enumerate(circuit.instructions):
+            if inst.gate == "id" or inst.is_identity():
+                edit.remove(index)
+                edit.count += 1
+        return edit.build()
+
+
+class CancelInverseOneQubitPairs(RewriteRule):
+    """Cancel adjacent inverse pairs of fixed single-qubit gates on a wire.
+
+    Covers self-inverse gates (``h h -> I``, ``x x -> I``) and named inverse
+    pairs (``t tdg -> I``, ``s sdg -> I``, ``sx sxdg -> I``).
+    """
+
+    def __init__(self, gate_names: Iterable[str]) -> None:
+        names = sorted({name.lower() for name in gate_names})
+        super().__init__("cancel_1q_pairs(" + ",".join(names) + ")")
+        self.gate_names = set(names)
+
+    def apply_pass(self, circuit: Circuit) -> tuple[Circuit, int]:
+        edit = _EditPass(circuit)
+        last_on_qubit: dict[int, "int | None"] = {}
+        for index, inst in enumerate(circuit.instructions):
+            if len(inst.qubits) == 1 and inst.gate in self.gate_names:
+                qubit = inst.qubits[0]
+                previous = last_on_qubit.get(qubit)
+                if (
+                    previous is not None
+                    and not edit.touched(previous)
+                    and self._inverse_pair(circuit[previous], inst)
+                ):
+                    edit.remove(previous)
+                    edit.remove(index)
+                    edit.count += 1
+                    # Further cascading cancellations are picked up on the
+                    # next pass; this pass only handles disjoint matches.
+                    last_on_qubit[qubit] = None
+                else:
+                    last_on_qubit[qubit] = index
+            else:
+                for qubit in inst.qubits:
+                    last_on_qubit[qubit] = None
+        return edit.build()
+
+    def _inverse_pair(self, first: Instruction, second: Instruction) -> bool:
+        if first.qubits != second.qubits or len(first.qubits) != 1:
+            return False
+        if first.gate not in self.gate_names:
+            return False
+        spec = first.spec
+        if spec.self_inverse:
+            return first.gate == second.gate
+        return spec.inverse_name == second.gate
+
+
+class CancelAdjacentSelfInverseTwoQubit(RewriteRule):
+    """Cancel pairs of identical self-inverse two-qubit gates (Fig. 3a).
+
+    With ``use_commutation`` the scan skips intermediate gates that commute
+    with the CX being cancelled (diagonal gates on the control wire, X-like
+    gates on the target wire), which captures the classic commute-then-cancel
+    rewrites (Figs. 3b/3c) in a single pass.
+    """
+
+    def __init__(self, gate_names: Iterable[str] = ("cx", "cz"), use_commutation: bool = True) -> None:
+        names = sorted({name.lower() for name in gate_names})
+        super().__init__("cancel_2q_pairs(" + ",".join(names) + ")")
+        self.gate_names = set(names)
+        self.use_commutation = use_commutation
+
+    def apply_pass(self, circuit: Circuit) -> tuple[Circuit, int]:
+        edit = _EditPass(circuit)
+        instructions = circuit.instructions
+        for index, inst in enumerate(instructions):
+            if inst.gate not in self.gate_names or edit.touched(index):
+                continue
+            partner = self._find_partner(instructions, index, edit)
+            if partner is not None:
+                edit.remove(index)
+                edit.remove(partner)
+                edit.count += 1
+        return edit.build()
+
+    def _find_partner(self, instructions, index: int, edit: _EditPass) -> "int | None":
+        inst = instructions[index]
+        control, target = inst.qubits
+        for later in range(index + 1, len(instructions)):
+            other = instructions[later]
+            if edit.touched(later):
+                if set(other.qubits) & {control, target}:
+                    return None
+                continue
+            if other.gate == inst.gate and other.qubits == inst.qubits:
+                return later
+            if not (set(other.qubits) & {control, target}):
+                continue
+            if not self.use_commutation:
+                return None
+            if inst.gate == "cx" and commutes_with_cx(other, control, target):
+                continue
+            if inst.gate == "cz" and all(
+                commutes_with_z_on(other, qubit)
+                for qubit in (control, target)
+                if qubit in other.qubits
+            ):
+                continue
+            return None
+        return None
+
+
+class MergeRotations(RewriteRule):
+    """Merge same-axis rotation gates acting on the same qubits (Fig. 3d).
+
+    Handles single-qubit rotations (``rz``, ``rx``, ``ry``, ``u1``) with
+    commutation-aware scanning for the Z axis, and two-qubit rotation gates
+    (``rzz``, ``rxx``, ``cp``, ``crz``) when directly adjacent on both wires.
+    Merged rotations whose total angle vanishes are removed entirely.
+    """
+
+    _Z_AXIS = {"rz", "u1", "p", "crz", "cp", "cu1", "rzz"}
+    _X_AXIS = {"rx", "rxx"}
+
+    def __init__(self, gate_names: Iterable[str] = ("rz", "u1"), use_commutation: bool = True) -> None:
+        names = sorted({name.lower() for name in gate_names})
+        super().__init__("merge_rotations(" + ",".join(names) + ")")
+        self.gate_names = set(names)
+        self.use_commutation = use_commutation
+
+    def apply_pass(self, circuit: Circuit) -> tuple[Circuit, int]:
+        edit = _EditPass(circuit)
+        instructions = circuit.instructions
+        for index, inst in enumerate(instructions):
+            if inst.gate not in self.gate_names or edit.touched(index):
+                continue
+            partner = self._find_partner(instructions, index, edit)
+            if partner is None:
+                continue
+            total = inst.params[0] + instructions[partner].params[0]
+            total = math.remainder(total, 2.0 * TWO_PI)
+            edit.remove(partner)
+            if self._is_trivial(inst.gate, total):
+                edit.remove(index)
+            else:
+                edit.replace(index, [instruction(inst.gate, inst.qubits, [total])])
+            edit.count += 1
+        return edit.build()
+
+    def _is_trivial(self, gate: str, angle: float) -> bool:
+        if abs(angle) < _ATOL:
+            return True
+        period = TWO_PI if gate in {"u1", "p", "cp", "cu1"} else 2.0 * TWO_PI
+        return abs(math.remainder(angle, period)) < _ATOL
+
+    def _find_partner(self, instructions, index: int, edit: _EditPass) -> "int | None":
+        inst = instructions[index]
+        qubits = set(inst.qubits)
+        for later in range(index + 1, len(instructions)):
+            other = instructions[later]
+            if edit.touched(later):
+                if set(other.qubits) & qubits:
+                    return None
+                continue
+            if other.gate == inst.gate and other.qubits == inst.qubits:
+                return later
+            if not (set(other.qubits) & qubits):
+                continue
+            if not self.use_commutation or len(inst.qubits) != 1:
+                return None
+            qubit = inst.qubits[0]
+            if inst.gate in self._Z_AXIS and commutes_with_z_on(other, qubit):
+                continue
+            if inst.gate in self._X_AXIS and commutes_with_x_on(other, qubit):
+                continue
+            return None
+        return None
+
+
+class MergePhaseGates(RewriteRule):
+    """Merge runs of Z-phase Clifford+T gates (``t``, ``s``, ``z``, ...) on a wire.
+
+    Every phase gate is an eighth-turn multiple; two phase gates on the same
+    qubit separated only by gates that commute with Z on that qubit merge into
+    the canonical shortest sequence for the combined angle (e.g. ``t t -> s``,
+    ``s s -> z``, ``t tdg -> identity``).
+    """
+
+    _CANONICAL = {
+        0: (),
+        1: ("t",),
+        2: ("s",),
+        3: ("s", "t"),
+        4: ("z",),
+        5: ("z", "t"),
+        6: ("sdg",),
+        7: ("tdg",),
+    }
+
+    def __init__(self) -> None:
+        super().__init__("merge_phase_gates")
+
+    def apply_pass(self, circuit: Circuit) -> tuple[Circuit, int]:
+        edit = _EditPass(circuit)
+        instructions = circuit.instructions
+        for index, inst in enumerate(instructions):
+            if inst.gate not in _PHASE_EIGHTHS or edit.touched(index):
+                continue
+            partner = self._find_partner(instructions, index, edit)
+            if partner is None:
+                continue
+            eighths = (_PHASE_EIGHTHS[inst.gate] + _PHASE_EIGHTHS[instructions[partner].gate]) % 8
+            canonical = self._CANONICAL[eighths]
+            if len(canonical) == 2 and canonical == (inst.gate, instructions[partner].gate):
+                # Already in canonical form: rewriting would not make progress.
+                continue
+            replacement = [instruction(name, inst.qubits) for name in canonical]
+            edit.remove(partner)
+            if replacement:
+                edit.replace(index, replacement)
+            else:
+                edit.remove(index)
+            edit.count += 1
+        return edit.build()
+
+    def _find_partner(self, instructions, index: int, edit: _EditPass) -> "int | None":
+        qubit = instructions[index].qubits[0]
+        for later in range(index + 1, len(instructions)):
+            other = instructions[later]
+            if edit.touched(later):
+                if qubit in other.qubits:
+                    return None
+                continue
+            if other.gate in _PHASE_EIGHTHS and other.qubits == (qubit,):
+                return later
+            if commutes_with_z_on(other, qubit):
+                continue
+            return None
+        return None
+
+
+class SequencePatternRule(RewriteRule):
+    """Replace a fixed sequence of 1q gates on one wire by another sequence.
+
+    Example: ``h x h -> z`` or ``h z h -> x``.  The pattern gates must be
+    directly adjacent on the wire (no interleaved gates on that qubit).
+    """
+
+    def __init__(self, pattern: Sequence[str], replacement: Sequence[str], name: "str | None" = None) -> None:
+        pattern = [gate.lower() for gate in pattern]
+        replacement = [gate.lower() for gate in replacement]
+        super().__init__(name or ("pattern(" + " ".join(pattern) + "->" + (" ".join(replacement) or "I") + ")"))
+        self.pattern = pattern
+        self.replacement = replacement
+
+    def apply_pass(self, circuit: Circuit) -> tuple[Circuit, int]:
+        edit = _EditPass(circuit)
+        per_qubit: dict[int, list[int]] = {}
+        for index, inst in enumerate(circuit.instructions):
+            for qubit in inst.qubits:
+                per_qubit.setdefault(qubit, []).append(index)
+
+        for qubit, indices in per_qubit.items():
+            position = 0
+            while position + len(self.pattern) <= len(indices):
+                window = indices[position : position + len(self.pattern)]
+                if self._matches(circuit, window, qubit, edit):
+                    for offset, index in enumerate(window):
+                        if offset == 0 and self.replacement:
+                            edit.replace(
+                                index,
+                                [instruction(name, [qubit]) for name in self.replacement],
+                            )
+                        else:
+                            edit.remove(index)
+                    edit.count += 1
+                    position += len(self.pattern)
+                else:
+                    position += 1
+        return edit.build()
+
+    def _matches(self, circuit: Circuit, window: list[int], qubit: int, edit: _EditPass) -> bool:
+        for index, expected in zip(window, self.pattern):
+            inst = circuit[index]
+            if edit.touched(index) or inst.gate != expected or inst.qubits != (qubit,):
+                return False
+        return True
+
+
+class FuseOneQubitRuns(RewriteRule):
+    """Collapse runs of consecutive 1q gates on a wire into their Euler form.
+
+    The run's product unitary is resynthesized in the target gate set's
+    single-qubit basis; the replacement is accepted only when it is strictly
+    shorter, so the rule is exact and monotone in gate count.
+    """
+
+    def __init__(self, basis: str, min_run: int = 2) -> None:
+        super().__init__(f"fuse_1q_runs({basis})")
+        self.basis = basis
+        self.min_run = min_run
+
+    def apply_pass(self, circuit: Circuit) -> tuple[Circuit, int]:
+        edit = _EditPass(circuit)
+        runs = self._find_runs(circuit)
+        for qubit, run in runs:
+            if len(run) < self.min_run:
+                continue
+            if any(edit.touched(index) for index in run):
+                continue
+            matrix = np.eye(2, dtype=complex)
+            for index in run:
+                matrix = circuit[index].matrix() @ matrix
+            fused = one_qubit_circuit(matrix, self.basis)
+            if fused.size() >= len(run):
+                continue
+            replacement = [inst.remapped({0: qubit}) for inst in fused.instructions]
+            edit.replace(run[0], replacement)
+            for index in run[1:]:
+                edit.remove(index)
+            edit.count += 1
+        return edit.build()
+
+    def _find_runs(self, circuit: Circuit) -> list[tuple[int, list[int]]]:
+        runs: list[tuple[int, list[int]]] = []
+        current: dict[int, list[int]] = {}
+        for index, inst in enumerate(circuit.instructions):
+            if len(inst.qubits) == 1:
+                current.setdefault(inst.qubits[0], []).append(index)
+            else:
+                for qubit in inst.qubits:
+                    if qubit in current:
+                        runs.append((qubit, current.pop(qubit)))
+        for qubit, run in current.items():
+            runs.append((qubit, run))
+        return runs
+
+
+def apply_until_fixpoint(
+    circuit: Circuit, rules: Sequence[RewriteRule], max_iterations: int = 50
+) -> tuple[Circuit, int]:
+    """Repeatedly apply each rule until no rule changes the circuit."""
+    total = 0
+    for _ in range(max_iterations):
+        changed = 0
+        for rule in rules:
+            circuit, count = rule.apply_pass(circuit)
+            changed += count
+        total += changed
+        if changed == 0:
+            break
+    return circuit, total

@@ -1,0 +1,44 @@
+"""Benchmark circuit generators and suite assembly."""
+
+from repro.suite.generators import (
+    draper_adder,
+    ising_trotter,
+    barenco_toffoli,
+    bernstein_vazirani,
+    ghz,
+    grover,
+    hidden_shift,
+    qaoa_maxcut,
+    qft,
+    qpe,
+    random_clifford_t,
+    random_parameterized,
+    ripple_carry_adder,
+    toffoli_chain,
+    vbe_adder,
+    vqe_ansatz,
+)
+from repro.suite.suite import BenchmarkCase, ftqc_suite, lowered_suite, nisq_suite
+
+__all__ = [
+    "BenchmarkCase",
+    "barenco_toffoli",
+    "bernstein_vazirani",
+    "draper_adder",
+    "ftqc_suite",
+    "ghz",
+    "grover",
+    "hidden_shift",
+    "ising_trotter",
+    "lowered_suite",
+    "nisq_suite",
+    "qaoa_maxcut",
+    "qft",
+    "qpe",
+    "random_clifford_t",
+    "random_parameterized",
+    "ripple_carry_adder",
+    "toffoli_chain",
+    "vbe_adder",
+    "vqe_ansatz",
+]

@@ -1,0 +1,495 @@
+"""Benchmark-circuit generators.
+
+The paper's suite contains 247 circuits drawn from prior optimization,
+approximation, and mapping work: QFT, QPE, Grover, Shor building blocks
+(adders, multi-controlled Toffolis), QAOA, VQE, hidden-shift, GHZ and random
+circuits.  The original QASM files are not redistributable here, so this
+module regenerates the same circuit families parametrically at laptop scale.
+
+All generators return circuits over the *logical* gate vocabulary (h, t, cx,
+ccx, cp, rz, ...); experiments lower them into a target gate set with
+:func:`repro.gatesets.decompose_to_gate_set` before optimizing, exactly as the
+paper feeds each tool an already-decomposed circuit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.circuits.circuit import Circuit
+from repro.utils.rng import ensure_rng
+
+PI = math.pi
+
+
+# ---------------------------------------------------------------------------
+# Fourier-transform family
+# ---------------------------------------------------------------------------
+
+
+def qft(num_qubits: int, with_swaps: bool = True, name: "str | None" = None) -> Circuit:
+    """Quantum Fourier transform on ``num_qubits`` qubits."""
+    if num_qubits < 1:
+        raise ValueError("qft needs at least one qubit")
+    circuit = Circuit(num_qubits, name=name or f"qft_{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for offset, control in enumerate(range(target + 1, num_qubits), start=2):
+            circuit.cp(2.0 * PI / (2**offset), control, target)
+    if with_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    return circuit
+
+
+def qpe(num_counting: int, phase: float = 0.3125, name: "str | None" = None) -> Circuit:
+    """Quantum phase estimation of a single-qubit phase gate.
+
+    ``num_counting`` counting qubits estimate the eigenphase ``phase`` of a
+    ``u1(2*pi*phase)`` gate applied to one extra target qubit.
+    """
+    if num_counting < 1:
+        raise ValueError("qpe needs at least one counting qubit")
+    num_qubits = num_counting + 1
+    target = num_counting
+    circuit = Circuit(num_qubits, name=name or f"qpe_{num_qubits}")
+    circuit.x(target)
+    for qubit in range(num_counting):
+        circuit.h(qubit)
+    for qubit in range(num_counting):
+        repetitions = 2 ** (num_counting - 1 - qubit)
+        angle = 2.0 * PI * phase * repetitions
+        circuit.cp(angle, qubit, target)
+    inverse_qft = qft(num_counting, with_swaps=True).inverse()
+    for inst in inverse_qft.instructions:
+        circuit.append(inst)
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Toffoli / arithmetic family (Shor building blocks, Clifford+T friendly)
+# ---------------------------------------------------------------------------
+
+
+def toffoli_chain(num_toffolis: int, name: "str | None" = None) -> Circuit:
+    """A ladder of Toffoli gates (the ``tof_n`` benchmarks)."""
+    if num_toffolis < 1:
+        raise ValueError("need at least one Toffoli")
+    num_qubits = num_toffolis + 2
+    circuit = Circuit(num_qubits, name=name or f"tof_{num_qubits}")
+    for index in range(num_toffolis):
+        circuit.ccx(index, index + 1, index + 2)
+    for index in reversed(range(num_toffolis - 1)):
+        circuit.ccx(index, index + 1, index + 2)
+    return circuit
+
+
+def barenco_toffoli(num_controls: int, name: "str | None" = None) -> Circuit:
+    """Multi-controlled Toffoli via the Barenco et al. ancilla (V-chain) construction.
+
+    Uses ``num_controls`` control qubits, one target, and ``num_controls - 2``
+    ancillas — the ``barenco_tof_n`` benchmarks of the paper (``n`` is the
+    number of controls).
+    """
+    if num_controls < 2:
+        raise ValueError("barenco_toffoli needs at least two controls")
+    if num_controls == 2:
+        circuit = Circuit(3, name=name or "barenco_tof_2")
+        circuit.ccx(0, 1, 2)
+        return circuit
+    num_ancillas = num_controls - 2
+    num_qubits = num_controls + num_ancillas + 1
+    controls = list(range(num_controls))
+    ancillas = list(range(num_controls, num_controls + num_ancillas))
+    target = num_qubits - 1
+    circuit = Circuit(num_qubits, name=name or f"barenco_tof_{num_controls}")
+
+    forward: list[tuple[int, int, int]] = []
+    forward.append((controls[0], controls[1], ancillas[0]))
+    for index in range(num_ancillas - 1):
+        forward.append((controls[index + 2], ancillas[index], ancillas[index + 1]))
+    # Compute the AND chain into the last ancilla, apply the final Toffoli,
+    # then uncompute so every ancilla is returned to |0>.
+    for a, b, c in forward:
+        circuit.ccx(a, b, c)
+    circuit.ccx(controls[-1], ancillas[-1], target)
+    for a, b, c in reversed(forward):
+        circuit.ccx(a, b, c)
+    return circuit
+
+
+def ripple_carry_adder(num_bits: int, name: "str | None" = None) -> Circuit:
+    """Cuccaro-style ripple-carry adder on two ``num_bits`` registers.
+
+    Register layout: carry-in, a_0..a_{n-1}, b_0..b_{n-1}, carry-out.
+    """
+    if num_bits < 1:
+        raise ValueError("adder needs at least one bit")
+    num_qubits = 2 * num_bits + 2
+    a = [1 + i for i in range(num_bits)]
+    b = [1 + num_bits + i for i in range(num_bits)]
+    carry_in = 0
+    carry_out = num_qubits - 1
+    circuit = Circuit(num_qubits, name=name or f"rc_adder_{num_bits}")
+
+    def maj(x: int, y: int, z: int) -> None:
+        circuit.cx(z, y)
+        circuit.cx(z, x)
+        circuit.ccx(x, y, z)
+
+    def uma(x: int, y: int, z: int) -> None:
+        circuit.ccx(x, y, z)
+        circuit.cx(z, x)
+        circuit.cx(x, y)
+
+    maj(carry_in, b[0], a[0])
+    for i in range(1, num_bits):
+        maj(a[i - 1], b[i], a[i])
+    circuit.cx(a[num_bits - 1], carry_out)
+    for i in reversed(range(1, num_bits)):
+        uma(a[i - 1], b[i], a[i])
+    uma(carry_in, b[0], a[0])
+    return circuit
+
+
+def vbe_adder(num_bits: int, name: "str | None" = None) -> Circuit:
+    """Vedral–Barenco–Ekert adder (carry/sum blocks), a classic T-heavy benchmark."""
+    if num_bits < 1:
+        raise ValueError("adder needs at least one bit")
+    # layout: a_i, b_i, c_i interleaved plus final carry
+    num_qubits = 3 * num_bits + 1
+    circuit = Circuit(num_qubits, name=name or f"vbe_adder_{num_bits}")
+
+    def a(i: int) -> int:
+        return 3 * i
+
+    def b(i: int) -> int:
+        return 3 * i + 1
+
+    def c(i: int) -> int:
+        return 3 * i + 2
+
+    def carry(c0: int, a0: int, b0: int, c1: int) -> None:
+        circuit.ccx(a0, b0, c1)
+        circuit.cx(a0, b0)
+        circuit.ccx(c0, b0, c1)
+
+    def carry_dg(c0: int, a0: int, b0: int, c1: int) -> None:
+        circuit.ccx(c0, b0, c1)
+        circuit.cx(a0, b0)
+        circuit.ccx(a0, b0, c1)
+
+    def summation(c0: int, a0: int, b0: int) -> None:
+        circuit.cx(a0, b0)
+        circuit.cx(c0, b0)
+
+    last_carry = num_qubits - 1
+    for i in range(num_bits - 1):
+        carry(c(i), a(i), b(i), c(i + 1))
+    carry(c(num_bits - 1), a(num_bits - 1), b(num_bits - 1), last_carry)
+    circuit.cx(a(num_bits - 1), b(num_bits - 1))
+    summation(c(num_bits - 1), a(num_bits - 1), b(num_bits - 1))
+    for i in reversed(range(num_bits - 1)):
+        carry_dg(c(i), a(i), b(i), c(i + 1))
+        summation(c(i), a(i), b(i))
+    return circuit
+
+
+def draper_adder(num_bits: int, name: "str | None" = None) -> Circuit:
+    """Draper QFT-based adder: QFT on b, controlled-phase cascade from a, inverse QFT.
+
+    The controlled-phase cascades put many ``cp`` gates on the same qubit
+    pairs, which after lowering leaves substantial CX-cancellation headroom —
+    the kind of redundancy the paper's arithmetic benchmarks exhibit.
+    """
+    if num_bits < 1:
+        raise ValueError("adder needs at least one bit")
+    num_qubits = 2 * num_bits
+    a = list(range(num_bits))
+    b = list(range(num_bits, 2 * num_bits))
+    circuit = Circuit(num_qubits, name=name or f"qft_adder_{num_bits}")
+    fourier = qft(num_bits, with_swaps=False)
+    for inst in fourier.instructions:
+        circuit.append(inst.remapped({i: b[i] for i in range(num_bits)}))
+    for i in range(num_bits):
+        for j in range(i, num_bits):
+            angle = 2.0 * PI / (2 ** (j - i + 1))
+            circuit.cp(angle, a[j], b[i])
+    inverse = fourier.inverse()
+    for inst in inverse.instructions:
+        circuit.append(inst.remapped({i: b[i] for i in range(num_bits)}))
+    return circuit
+
+
+def ising_trotter(
+    num_qubits: int,
+    steps: int = 3,
+    coupling: float = 0.7,
+    field: float = 0.4,
+    name: "str | None" = None,
+) -> Circuit:
+    """First-order Trotterized transverse-field Ising evolution on a chain.
+
+    Each step applies ``rzz`` on nearest-neighbour pairs followed by ``rx`` on
+    every qubit; consecutive steps place entangling gates on identical pairs,
+    giving optimizers realistic merging opportunities (Hamiltonian-simulation
+    workloads motivate several of the paper's domain-specific comparisons).
+    """
+    if num_qubits < 2:
+        raise ValueError("ising_trotter needs at least two qubits")
+    circuit = Circuit(num_qubits, name=name or f"ising_{num_qubits}_s{steps}")
+    for _ in range(steps):
+        for qubit in range(0, num_qubits - 1, 2):
+            circuit.rzz(2.0 * coupling, qubit, qubit + 1)
+        for qubit in range(1, num_qubits - 1, 2):
+            circuit.rzz(2.0 * coupling, qubit, qubit + 1)
+        for qubit in range(num_qubits):
+            circuit.rx(2.0 * field, qubit)
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Algorithm family: Grover, hidden shift, Bernstein–Vazirani, GHZ
+# ---------------------------------------------------------------------------
+
+
+def ghz(num_qubits: int, name: "str | None" = None) -> Circuit:
+    """GHZ state preparation."""
+    circuit = Circuit(num_qubits, name=name or f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def _multi_controlled_phase(circuit: Circuit, theta: float, controls: list[int], target: int) -> None:
+    """Phase ``theta`` on ``target`` controlled on every qubit in ``controls``.
+
+    Uses the textbook ancilla-free recursive construction (controlled square
+    roots); the gate count grows exponentially in the number of controls, but
+    the Grover benchmarks in this suite only need a handful of controls.
+    """
+    if not controls:
+        circuit.u1(theta, target)
+    elif len(controls) == 1:
+        circuit.cp(theta, controls[0], target)
+    else:
+        circuit.cp(theta / 2, controls[-1], target)
+        _multi_controlled_x(circuit, controls[:-1], controls[-1])
+        circuit.cp(-theta / 2, controls[-1], target)
+        _multi_controlled_x(circuit, controls[:-1], controls[-1])
+        _multi_controlled_phase(circuit, theta / 2, controls[:-1], target)
+
+
+def _multi_controlled_x(circuit: Circuit, controls: list[int], target: int) -> None:
+    """Multi-controlled X without ancillas."""
+    if len(controls) == 0:
+        circuit.x(target)
+    elif len(controls) == 1:
+        circuit.cx(controls[0], target)
+    elif len(controls) == 2:
+        circuit.ccx(controls[0], controls[1], target)
+    else:
+        circuit.h(target)
+        _multi_controlled_phase(circuit, PI, controls, target)
+        circuit.h(target)
+
+
+def _multi_controlled_z(circuit: Circuit, qubits: list[int]) -> None:
+    """Apply a Z controlled on all of ``qubits``."""
+    if len(qubits) == 1:
+        circuit.z(qubits[0])
+    elif len(qubits) == 2:
+        circuit.cz(qubits[0], qubits[1])
+    elif len(qubits) == 3:
+        circuit.add("ccz", qubits)
+    else:
+        _multi_controlled_phase(circuit, PI, qubits[:-1], qubits[-1])
+
+
+def grover(num_qubits: int, iterations: "int | None" = None, marked: "int | None" = None, name: "str | None" = None) -> Circuit:
+    """Grover search over ``num_qubits`` qubits with a phase-flip oracle."""
+    if num_qubits < 2:
+        raise ValueError("grover needs at least two qubits")
+    if iterations is None:
+        iterations = max(1, int(round(math.pi / 4 * math.sqrt(2**num_qubits))))
+    if marked is None:
+        marked = (1 << num_qubits) - 1
+    circuit = Circuit(num_qubits, name=name or f"grover_{num_qubits}")
+    qubits = list(range(num_qubits))
+    for qubit in qubits:
+        circuit.h(qubit)
+    for _ in range(iterations):
+        # Oracle: flip the phase of |marked>.
+        flips = [q for q in qubits if not (marked >> (num_qubits - 1 - q)) & 1]
+        for qubit in flips:
+            circuit.x(qubit)
+        _multi_controlled_z(circuit, qubits)
+        for qubit in flips:
+            circuit.x(qubit)
+        # Diffusion operator.
+        for qubit in qubits:
+            circuit.h(qubit)
+            circuit.x(qubit)
+        _multi_controlled_z(circuit, qubits)
+        for qubit in qubits:
+            circuit.x(qubit)
+            circuit.h(qubit)
+    return circuit
+
+
+def bernstein_vazirani(num_qubits: int, secret: "int | None" = None, name: "str | None" = None) -> Circuit:
+    """Bernstein–Vazirani circuit for a hidden bit string."""
+    if num_qubits < 2:
+        raise ValueError("bernstein_vazirani needs at least two qubits")
+    if secret is None:
+        secret = (1 << (num_qubits - 1)) - 1
+    target = num_qubits - 1
+    circuit = Circuit(num_qubits, name=name or f"bv_{num_qubits}")
+    circuit.x(target)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_qubits - 1):
+        if (secret >> (num_qubits - 2 - qubit)) & 1:
+            circuit.cx(qubit, target)
+    for qubit in range(num_qubits - 1):
+        circuit.h(qubit)
+    return circuit
+
+
+def hidden_shift(num_qubits: int, shift: "int | None" = None, name: "str | None" = None) -> Circuit:
+    """Hidden-shift circuit for bent functions (CZ-based), a Clifford+T benchmark."""
+    if num_qubits < 2 or num_qubits % 2 != 0:
+        raise ValueError("hidden_shift needs an even number of qubits >= 2")
+    if shift is None:
+        shift = (1 << num_qubits) - 1
+    half = num_qubits // 2
+    circuit = Circuit(num_qubits, name=name or f"hidden_shift_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_qubits):
+        if (shift >> (num_qubits - 1 - qubit)) & 1:
+            circuit.x(qubit)
+    for index in range(half):
+        circuit.cz(index, index + half)
+        circuit.t(index)
+        circuit.t(index + half)
+    for qubit in range(num_qubits):
+        if (shift >> (num_qubits - 1 - qubit)) & 1:
+            circuit.x(qubit)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for index in range(half):
+        circuit.cz(index, index + half)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Variational family: QAOA and hardware-efficient VQE ansatz
+# ---------------------------------------------------------------------------
+
+
+def qaoa_maxcut(
+    num_qubits: int,
+    layers: int = 2,
+    degree: int = 3,
+    seed: int = 0,
+    name: "str | None" = None,
+) -> Circuit:
+    """QAOA MaxCut circuit on a random regular graph."""
+    if num_qubits < 3:
+        raise ValueError("qaoa needs at least three qubits")
+    rng = ensure_rng(seed)
+    degree = min(degree, num_qubits - 1)
+    if (num_qubits * degree) % 2 != 0:
+        degree = max(2, degree - 1)
+    graph = nx.random_regular_graph(degree, num_qubits, seed=int(rng.integers(0, 2**31)))
+    circuit = Circuit(num_qubits, name=name or f"qaoa_{num_qubits}_p{layers}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for _ in range(layers):
+        gamma = float(rng.uniform(0.1, PI))
+        beta = float(rng.uniform(0.1, PI))
+        for a, b in graph.edges():
+            circuit.rzz(gamma, int(a), int(b))
+        for qubit in range(num_qubits):
+            circuit.rx(2.0 * beta, qubit)
+    return circuit
+
+
+def vqe_ansatz(
+    num_qubits: int,
+    depth: int = 3,
+    seed: int = 0,
+    name: "str | None" = None,
+) -> Circuit:
+    """Hardware-efficient VQE ansatz: RY/RZ layers with linear CX entanglement."""
+    if num_qubits < 2:
+        raise ValueError("vqe ansatz needs at least two qubits")
+    rng = ensure_rng(seed)
+    circuit = Circuit(num_qubits, name=name or f"vqe_{num_qubits}_d{depth}")
+    for _ in range(depth):
+        for qubit in range(num_qubits):
+            circuit.ry(float(rng.uniform(-PI, PI)), qubit)
+            circuit.rz(float(rng.uniform(-PI, PI)), qubit)
+        for qubit in range(num_qubits - 1):
+            circuit.cx(qubit, qubit + 1)
+    for qubit in range(num_qubits):
+        circuit.ry(float(rng.uniform(-PI, PI)), qubit)
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Random circuits
+# ---------------------------------------------------------------------------
+
+
+def random_clifford_t(
+    num_qubits: int,
+    num_gates: int,
+    seed: int = 0,
+    t_fraction: float = 0.3,
+    name: "str | None" = None,
+) -> Circuit:
+    """Random Clifford+T circuit with roughly ``t_fraction`` T-like gates."""
+    rng = ensure_rng(seed)
+    circuit = Circuit(num_qubits, name=name or f"random_ct_{num_qubits}_{num_gates}")
+    one_qubit = ["h", "s", "sdg", "x", "z"]
+    t_gates = ["t", "tdg"]
+    for _ in range(num_gates):
+        roll = rng.random()
+        if num_qubits >= 2 and roll < 0.35:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        elif roll < 0.35 + t_fraction:
+            circuit.add(str(rng.choice(t_gates)), [int(rng.integers(0, num_qubits))])
+        else:
+            circuit.add(str(rng.choice(one_qubit)), [int(rng.integers(0, num_qubits))])
+    return circuit
+
+
+def random_parameterized(
+    num_qubits: int,
+    num_gates: int,
+    seed: int = 0,
+    name: "str | None" = None,
+) -> Circuit:
+    """Random circuit over {h, rz, rx, cx} with continuous angles."""
+    rng = ensure_rng(seed)
+    circuit = Circuit(num_qubits, name=name or f"random_param_{num_qubits}_{num_gates}")
+    for _ in range(num_gates):
+        roll = rng.random()
+        if num_qubits >= 2 and roll < 0.35:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        elif roll < 0.6:
+            circuit.rz(float(rng.uniform(-PI, PI)), int(rng.integers(0, num_qubits)))
+        elif roll < 0.85:
+            circuit.rx(float(rng.uniform(-PI, PI)), int(rng.integers(0, num_qubits)))
+        else:
+            circuit.h(int(rng.integers(0, num_qubits)))
+    return circuit

@@ -1,0 +1,26 @@
+"""Unitary synthesis: analytic 1-qubit, numerical templates, and Clifford+T search."""
+
+from repro.circuits.euler import one_qubit_circuit, u3_circuit, zyz_angles
+from repro.synthesis.numerical import TemplateSynthesisResult, TemplateSynthesizer
+from repro.synthesis.annealing import CliffordTSynthesizer
+from repro.synthesis.resynth import (
+    EXACT_DISTANCE_FLOOR,
+    CliffordTResynthesizer,
+    NumericalResynthesizer,
+    Resynthesizer,
+    ResynthesisOutcome,
+)
+
+__all__ = [
+    "CliffordTResynthesizer",
+    "CliffordTSynthesizer",
+    "EXACT_DISTANCE_FLOOR",
+    "NumericalResynthesizer",
+    "Resynthesizer",
+    "ResynthesisOutcome",
+    "TemplateSynthesisResult",
+    "TemplateSynthesizer",
+    "one_qubit_circuit",
+    "u3_circuit",
+    "zyz_angles",
+]

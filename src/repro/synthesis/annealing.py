@@ -1,0 +1,193 @@
+"""Search-based unitary synthesis for the finite Clifford+T gate set.
+
+This plays the role Synthetiq plays in the paper's Q4 experiments: given a
+small unitary, search for an equivalent circuit over the discrete gate set
+{T, T!, S, S!, H, X, Z, CX}.  Two strategies are combined:
+
+* breadth-first enumeration of short gate sequences (exact and fast for the
+  shallow identities that matter most in practice), and
+* simulated annealing over a fixed-length slot template (Synthetiq-style),
+  which occasionally finds deeper circuits but frequently fails — matching
+  the paper's observation that synthesis over finite gate sets is much harder
+  than over parameterized ones (Section 6, Q4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit, instruction
+from repro.utils.linalg import COMPLEX_DTYPE, apply_gate_to_matrix
+from repro.utils.rng import ensure_rng
+from repro.circuits.gates import gate_spec
+
+_ONE_QUBIT_GATES = ("h", "t", "tdg", "s", "sdg", "x", "z")
+_EXACT_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class _Move:
+    """One candidate gate placement: a gate name and the qubits it acts on."""
+
+    gate: str
+    qubits: tuple[int, ...]
+
+
+def _all_moves(num_qubits: int) -> list[_Move]:
+    moves = [
+        _Move(gate, (qubit,))
+        for gate in _ONE_QUBIT_GATES
+        for qubit in range(num_qubits)
+    ]
+    if num_qubits >= 2:
+        moves.extend(
+            _Move("cx", (a, b)) for a, b in permutations(range(num_qubits), 2)
+        )
+    return moves
+
+
+def _hs_distance(target: np.ndarray, unitary: np.ndarray) -> float:
+    dim = target.shape[0]
+    overlap = abs(np.trace(target.conj().T @ unitary)) / dim
+    return float(np.sqrt(max(0.0, 1.0 - min(1.0, overlap) ** 2)))
+
+
+class CliffordTSynthesizer:
+    """Exact synthesis over Clifford+T via BFS plus simulated annealing."""
+
+    def __init__(
+        self,
+        bfs_depth: int = 6,
+        max_bfs_nodes: int = 5000,
+        slots: int = 12,
+        anneal_iterations: int = 2000,
+        anneal_restarts: int = 2,
+        initial_temperature: float = 0.3,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        self.bfs_depth = bfs_depth
+        self.max_bfs_nodes = max_bfs_nodes
+        self.slots = slots
+        self.anneal_iterations = anneal_iterations
+        self.anneal_restarts = anneal_restarts
+        self.initial_temperature = initial_temperature
+        self.rng = ensure_rng(rng)
+
+    def synthesize(self, target: np.ndarray) -> "Circuit | None":
+        """Return a Clifford+T circuit equal to ``target`` up to phase, or None."""
+        target = np.asarray(target, dtype=COMPLEX_DTYPE)
+        dim = target.shape[0]
+        num_qubits = int(round(np.log2(dim)))
+        if 2**num_qubits != dim:
+            raise ValueError("target must be a 2^n x 2^n unitary")
+        moves = _all_moves(num_qubits)
+
+        found = self._bfs(target, num_qubits, moves)
+        if found is not None:
+            return found
+        return self._anneal(target, num_qubits, moves)
+
+    # -- breadth-first search over short sequences --------------------------
+
+    def _bfs(self, target: np.ndarray, num_qubits: int, moves: list[_Move]) -> "Circuit | None":
+        dim = 2**num_qubits
+        identity = np.eye(dim, dtype=COMPLEX_DTYPE)
+        if _hs_distance(target, identity) < _EXACT_TOL:
+            return Circuit(num_qubits)
+        # The breadth-first frontier stores (unitary, move list) pairs,
+        # deduplicated by a phase-normalised rounded key.  Depth and node
+        # budgets keep individual synthesis calls bounded — width-3 searches
+        # explore far fewer levels than width-1 searches, mirroring how much
+        # harder finite-gate-set synthesis is on wider blocks.
+        depth_budget = max(2, self.bfs_depth - 2 * (num_qubits - 1))
+        frontier: list[tuple[np.ndarray, tuple[_Move, ...]]] = [(identity, ())]
+        seen: set[bytes] = {_unitary_key(identity)}
+        expanded = 0
+        for _ in range(depth_budget):
+            next_frontier: list[tuple[np.ndarray, tuple[_Move, ...]]] = []
+            for unitary, sequence in frontier:
+                expanded += 1
+                if expanded > self.max_bfs_nodes:
+                    return None
+                for move in moves:
+                    gate = gate_spec(move.gate).matrix()
+                    candidate = apply_gate_to_matrix(unitary, gate, move.qubits, num_qubits)
+                    if _hs_distance(target, candidate) < _EXACT_TOL:
+                        return _moves_to_circuit(sequence + (move,), num_qubits)
+                    key = _unitary_key(candidate)
+                    if key not in seen:
+                        seen.add(key)
+                        next_frontier.append((candidate, sequence + (move,)))
+            frontier = next_frontier
+        return None
+
+    # -- simulated annealing over a slot template ----------------------------
+
+    def _anneal(self, target: np.ndarray, num_qubits: int, moves: list[_Move]) -> "Circuit | None":
+        best_circuit: "Circuit | None" = None
+        for _ in range(self.anneal_restarts):
+            candidate = self._anneal_once(target, num_qubits, moves)
+            if candidate is None:
+                continue
+            if best_circuit is None or candidate.size() < best_circuit.size():
+                best_circuit = candidate
+        return best_circuit
+
+    def _anneal_once(self, target: np.ndarray, num_qubits: int, moves: list[_Move]) -> "Circuit | None":
+        slots: list["_Move | None"] = [None] * self.slots
+        cost = self._slot_cost(slots, target, num_qubits)
+        temperature = self.initial_temperature
+        cooling = 0.999
+        for _ in range(self.anneal_iterations):
+            position = int(self.rng.integers(0, self.slots))
+            old = slots[position]
+            if self.rng.random() < 0.2:
+                slots[position] = None
+            else:
+                slots[position] = moves[int(self.rng.integers(0, len(moves)))]
+            new_cost = self._slot_cost(slots, target, num_qubits)
+            accept = new_cost <= cost or self.rng.random() < np.exp(
+                -(new_cost - cost) / max(temperature, 1e-9)
+            )
+            if accept:
+                cost = new_cost
+            else:
+                slots[position] = old
+            temperature *= cooling
+            if cost < _EXACT_TOL:
+                break
+        circuit = _moves_to_circuit(tuple(move for move in slots if move), num_qubits)
+        if _hs_distance(target, circuit.unitary()) < _EXACT_TOL:
+            return circuit
+        return None
+
+    def _slot_cost(self, slots: list["_Move | None"], target: np.ndarray, num_qubits: int) -> float:
+        dim = 2**num_qubits
+        unitary = np.eye(dim, dtype=COMPLEX_DTYPE)
+        used = 0
+        for move in slots:
+            if move is None:
+                continue
+            used += 1
+            gate = gate_spec(move.gate).matrix()
+            unitary = apply_gate_to_matrix(unitary, gate, move.qubits, num_qubits)
+        return _hs_distance(target, unitary) + 1e-4 * used
+
+
+def _unitary_key(unitary: np.ndarray, digits: int = 6) -> bytes:
+    """Hashable key identifying a unitary up to global phase."""
+    flat = unitary.flatten()
+    anchor_index = int(np.argmax(np.abs(flat)))
+    anchor = flat[anchor_index]
+    normalized = flat * (abs(anchor) / anchor)
+    return np.round(normalized, digits).tobytes()
+
+
+def _moves_to_circuit(sequence: tuple[_Move, ...], num_qubits: int) -> Circuit:
+    circuit = Circuit(num_qubits, name="synthesized_clifford_t")
+    for move in sequence:
+        circuit.append(instruction(move.gate, move.qubits))
+    return circuit

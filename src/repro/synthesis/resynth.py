@@ -1,0 +1,143 @@
+"""Resynthesis wrappers: from a subcircuit block to a replacement circuit.
+
+A resynthesizer is the "thin wrapper around a unitary synthesis function"
+described in Section 4.1: it computes the block's unitary, invokes a
+synthesis backend, lowers the result into the target gate set, and verifies
+the Hilbert–Schmidt distance before handing the replacement back.
+
+The measured distance is also what the GUOQ error-budget accounting charges:
+results within the numerical floor are charged ``0`` (exact), anything else
+is charged its measured distance, so Theorem 4.2's additive bound applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.gatesets.base import CLIFFORD_T, GateSet
+from repro.gatesets.decompose import decompose_to_gate_set
+from repro.rewrite.library import rules_for_gate_set
+from repro.rewrite.rules import apply_until_fixpoint
+from repro.synthesis.annealing import CliffordTSynthesizer
+from repro.synthesis.numerical import TemplateSynthesizer
+from repro.utils.linalg import hilbert_schmidt_distance
+
+#: Hilbert–Schmidt distances below this value are indistinguishable from zero
+#: at double precision (the formula's floor is ~sqrt(machine epsilon)).
+EXACT_DISTANCE_FLOOR = 5e-8
+
+
+@dataclass(frozen=True)
+class ResynthesisOutcome:
+    """A successful resynthesis: the new block and its verified error."""
+
+    circuit: Circuit
+    distance: float
+    charged_epsilon: float
+
+
+class Resynthesizer:
+    """Interface shared by all resynthesis backends."""
+
+    #: error tolerance passed to the backend (hard upper bound on `distance`)
+    epsilon: float
+    #: largest block width the backend accepts
+    max_qubits: int = 3
+    #: human-readable backend name used in transformation labels
+    name: str = "resynth"
+
+    def resynthesize(self, block: Circuit) -> "ResynthesisOutcome | None":
+        """Return a replacement for ``block`` or None when synthesis fails."""
+        raise NotImplementedError
+
+    def _verify(self, block: Circuit, candidate: Circuit) -> "ResynthesisOutcome | None":
+        distance = hilbert_schmidt_distance(block.unitary(), candidate.unitary())
+        if distance > max(self.epsilon, EXACT_DISTANCE_FLOOR):
+            return None
+        charged = 0.0 if distance <= EXACT_DISTANCE_FLOOR else distance
+        return ResynthesisOutcome(candidate, distance, charged)
+
+
+class NumericalResynthesizer(Resynthesizer):
+    """BQSKit-style resynthesis for continuously parameterized gate sets."""
+
+    def __init__(
+        self,
+        gate_set: GateSet,
+        epsilon: float = 1e-6,
+        max_layers: int = 6,
+        restarts: int = 2,
+        maxiter: int = 150,
+        max_qubits: int = 3,
+        time_budget: "float | None" = 5.0,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if not gate_set.parameterized:
+            raise ValueError(
+                "NumericalResynthesizer requires a parameterized gate set; "
+                f"got {gate_set.name!r}"
+            )
+        self.gate_set = gate_set
+        self.epsilon = epsilon
+        self.max_qubits = max_qubits
+        self.name = f"numerical[{gate_set.name}]"
+        self._synthesizer = TemplateSynthesizer(
+            epsilon=epsilon,
+            max_layers=max_layers,
+            restarts=restarts,
+            maxiter=maxiter,
+            time_budget=time_budget,
+            rng=rng,
+        )
+        self._cleanup_rules = rules_for_gate_set(gate_set)
+
+    def resynthesize(self, block: Circuit) -> "ResynthesisOutcome | None":
+        if block.num_qubits > self.max_qubits or block.size() == 0:
+            return None
+        result = self._synthesizer.synthesize(block.unitary())
+        if result is None:
+            return None
+        lowered = decompose_to_gate_set(result.circuit, self.gate_set)
+        lowered, _ = apply_until_fixpoint(lowered, self._cleanup_rules)
+        return self._verify(block, lowered)
+
+
+class CliffordTResynthesizer(Resynthesizer):
+    """Synthetiq-style resynthesis for the finite Clifford+T gate set."""
+
+    def __init__(
+        self,
+        epsilon: float = 1e-6,
+        bfs_depth: int = 6,
+        max_bfs_nodes: int = 5000,
+        slots: int = 12,
+        anneal_iterations: int = 2000,
+        anneal_restarts: int = 2,
+        max_qubits: int = 3,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        self.gate_set = CLIFFORD_T
+        self.epsilon = epsilon
+        self.max_qubits = max_qubits
+        self.name = "clifford_t_search"
+        self._synthesizer = CliffordTSynthesizer(
+            bfs_depth=bfs_depth,
+            max_bfs_nodes=max_bfs_nodes,
+            slots=slots,
+            anneal_iterations=anneal_iterations,
+            anneal_restarts=anneal_restarts,
+            rng=rng,
+        )
+        self._cleanup_rules = rules_for_gate_set(CLIFFORD_T)
+
+    def resynthesize(self, block: Circuit) -> "ResynthesisOutcome | None":
+        if block.num_qubits > self.max_qubits or block.size() == 0:
+            return None
+        candidate = self._synthesizer.synthesize(block.unitary())
+        if candidate is None:
+            return None
+        candidate, _ = apply_until_fixpoint(candidate, self._cleanup_rules)
+        return self._verify(block, candidate)

@@ -1,0 +1,21 @@
+"""Shared utilities: linear algebra helpers and reproducible randomness."""
+
+from repro.utils.linalg import (
+    apply_gate_to_matrix,
+    embed_gate,
+    hilbert_schmidt_distance,
+    is_unitary,
+    kron_all,
+    phase_aligned,
+)
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "apply_gate_to_matrix",
+    "embed_gate",
+    "ensure_rng",
+    "hilbert_schmidt_distance",
+    "is_unitary",
+    "kron_all",
+    "phase_aligned",
+]

@@ -1,0 +1,21 @@
+"""Reproducible randomness helpers.
+
+Every stochastic component in the library (GUOQ, annealing synthesis,
+benchmark generators) accepts either a seed, a ``numpy.random.Generator`` or
+``None``; :func:`ensure_rng` normalises those into a ``Generator``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: "int | np.random.Generator | None") -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed, generator or None."""
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

@@ -1,0 +1,174 @@
+"""Tests for the baseline optimizers (Table 3 stand-ins)."""
+
+import pytest
+
+from repro.baselines import (
+    AVAILABLE_TOOLS,
+    BeamSearchOptimizer,
+    FixedPassOptimizer,
+    GuoqSequentialOptimizer,
+    LookaheadRewriteOptimizer,
+    PartitionResynthOptimizer,
+    PhasePolynomialOptimizer,
+    guoq_beam_optimizer,
+    make_baseline,
+)
+from repro.circuits import Circuit, circuit_distance
+from repro.core import TwoQubitGateCount, default_transformations, rewrite_transformations
+from repro.gatesets import CLIFFORD_T, IBM_EAGLE, decompose_to_gate_set
+from repro.rewrite import rules_for_gate_set
+from repro.suite import random_clifford_t, ripple_carry_adder, toffoli_chain
+from repro.synthesis import NumericalResynthesizer
+
+EPS = 1e-5
+
+
+def eagle_circuit() -> Circuit:
+    raw = Circuit(3, name="sample")
+    raw.h(0).cx(0, 1).cx(0, 1).t(1).tdg(1).ccx(0, 1, 2).rz(0.4, 2).rz(-0.4, 2)
+    return decompose_to_gate_set(raw, IBM_EAGLE)
+
+
+class TestFixedPasses:
+    @pytest.mark.parametrize("preset", ["basic", "commuting", "full"])
+    def test_presets_preserve_semantics(self, preset):
+        circuit = eagle_circuit()
+        optimizer = FixedPassOptimizer(IBM_EAGLE, preset=preset)
+        optimized = optimizer.optimize(circuit)
+        assert optimized.size() <= circuit.size()
+        assert circuit_distance(circuit, optimized) < EPS
+        assert IBM_EAGLE.contains_circuit(optimized)
+
+    def test_stronger_presets_do_at_least_as_well(self):
+        circuit = eagle_circuit()
+        basic = FixedPassOptimizer(IBM_EAGLE, preset="basic").optimize(circuit)
+        full = FixedPassOptimizer(IBM_EAGLE, preset="full").optimize(circuit)
+        assert full.size() <= basic.size()
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError):
+            FixedPassOptimizer(IBM_EAGLE, preset="ultra")
+
+    def test_clifford_t_preset(self):
+        circuit = decompose_to_gate_set(toffoli_chain(2), CLIFFORD_T)
+        optimized = FixedPassOptimizer(CLIFFORD_T, preset="commuting").optimize(circuit)
+        assert circuit_distance(circuit, optimized) < EPS
+        assert CLIFFORD_T.contains_circuit(optimized)
+
+
+class TestPartitionResynth:
+    def test_preserves_semantics_and_gate_set(self):
+        circuit = eagle_circuit()
+        resynthesizer = NumericalResynthesizer(IBM_EAGLE, rng=0, time_budget=0.5, max_layers=3)
+        optimizer = PartitionResynthOptimizer(resynthesizer, time_limit=10.0)
+        optimized = optimizer.optimize(circuit)
+        assert circuit_distance(circuit, optimized) < EPS
+        assert IBM_EAGLE.contains_circuit(optimized)
+        assert TwoQubitGateCount()(optimized) <= TwoQubitGateCount()(circuit)
+
+    def test_reduces_redundant_two_qubit_block(self):
+        raw = Circuit(2)
+        for _ in range(4):
+            raw.cx(0, 1).rz(0.3, 1).cx(0, 1).rz(-0.3, 1)
+        circuit = decompose_to_gate_set(raw, IBM_EAGLE)
+        resynthesizer = NumericalResynthesizer(IBM_EAGLE, rng=1, time_budget=1.0)
+        optimized = PartitionResynthOptimizer(resynthesizer, time_limit=20.0).optimize(circuit)
+        assert optimized.two_qubit_count() < circuit.two_qubit_count()
+        assert circuit_distance(circuit, optimized) < EPS
+
+
+class TestBeamSearch:
+    def test_preserves_semantics(self):
+        circuit = eagle_circuit()
+        transformations = rewrite_transformations(rules_for_gate_set(IBM_EAGLE))
+        optimizer = BeamSearchOptimizer(transformations, beam_width=4, time_limit=2.0, seed=0)
+        optimized = optimizer.optimize(circuit)
+        assert circuit_distance(circuit, optimized) < EPS
+        assert optimized.size() <= circuit.size()
+
+    def test_requires_transformations(self):
+        with pytest.raises(ValueError):
+            BeamSearchOptimizer([])
+
+
+class TestLookahead:
+    def test_preserves_semantics_and_improves(self):
+        circuit = eagle_circuit()
+        optimizer = LookaheadRewriteOptimizer(
+            rules_for_gate_set(IBM_EAGLE), time_limit=2.0, seed=0
+        )
+        optimized = optimizer.optimize(circuit)
+        assert circuit_distance(circuit, optimized) < EPS
+        assert optimized.size() <= circuit.size()
+
+    def test_requires_rules(self):
+        with pytest.raises(ValueError):
+            LookaheadRewriteOptimizer([])
+
+
+class TestPhasePolynomial:
+    def test_never_changes_two_qubit_count(self):
+        for seed in range(5):
+            circuit = random_clifford_t(4, 50, seed=seed)
+            optimized = PhasePolynomialOptimizer().optimize(circuit)
+            assert optimized.two_qubit_count() == circuit.two_qubit_count()
+            assert circuit_distance(circuit, optimized) < EPS
+
+    def test_reduces_t_count_on_toffoli_circuits(self):
+        circuit = decompose_to_gate_set(toffoli_chain(3), CLIFFORD_T)
+        optimized = PhasePolynomialOptimizer().optimize(circuit)
+        assert optimized.t_count() < circuit.t_count()
+        assert circuit_distance(circuit, optimized) < EPS
+
+    def test_reduces_t_count_on_adders(self):
+        circuit = decompose_to_gate_set(ripple_carry_adder(2), CLIFFORD_T)
+        optimized = PhasePolynomialOptimizer().optimize(circuit)
+        assert optimized.t_count() < circuit.t_count()
+        assert circuit_distance(circuit, optimized) < EPS
+
+    def test_emits_clifford_t_when_angles_allow(self):
+        circuit = decompose_to_gate_set(toffoli_chain(2), CLIFFORD_T)
+        optimized = PhasePolynomialOptimizer().optimize(circuit)
+        assert CLIFFORD_T.contains_circuit(optimized)
+
+
+class TestGuoqVariants:
+    def test_sequential_orders(self):
+        circuit = eagle_circuit()
+        transformations = default_transformations(
+            "ibm-eagle", rng=0, synthesis_time_budget=0.5
+        )
+        for order in ("rewrite-resynth", "resynth-rewrite"):
+            optimizer = GuoqSequentialOptimizer(
+                transformations, order=order, time_limit=2.0, seed=0
+            )
+            optimized = optimizer.optimize(circuit)
+            assert circuit_distance(circuit, optimized) < EPS
+
+    def test_sequential_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            GuoqSequentialOptimizer([], order="both-at-once")
+
+    def test_beam_variant_name(self):
+        transformations = rewrite_transformations(rules_for_gate_set(IBM_EAGLE))
+        optimizer = guoq_beam_optimizer(transformations, time_limit=1.0)
+        assert optimizer.name.startswith("guoq_beam")
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("tool", AVAILABLE_TOOLS)
+    def test_every_tool_builds(self, tool):
+        gate_set = CLIFFORD_T if tool in {"pyzx", "synthetiq-partition"} else IBM_EAGLE
+        optimizer = make_baseline(tool, gate_set, time_limit=1.0, seed=0)
+        assert optimizer.name
+
+    def test_unknown_tool_raises(self):
+        with pytest.raises(KeyError):
+            make_baseline("magic-optimizer", IBM_EAGLE)
+
+    def test_registry_tools_preserve_semantics(self):
+        circuit = eagle_circuit()
+        for tool in ("qiskit", "tket", "voqc", "quarl"):
+            optimizer = make_baseline(tool, IBM_EAGLE, time_limit=1.0, seed=0)
+            optimized = optimizer.optimize(circuit)
+            assert circuit_distance(circuit, optimized) < EPS, tool

@@ -1,0 +1,147 @@
+"""Tests for convex block extraction, replacement, and DAG views."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    WireView,
+    block_to_circuit,
+    circuit_to_dag,
+    extract_block,
+    is_convex_subcircuit,
+    partition_into_blocks,
+    random_block,
+    replace_block,
+)
+from repro.utils.linalg import hilbert_schmidt_distance
+
+
+def sample_circuit() -> Circuit:
+    circuit = Circuit(4, name="sample")
+    circuit.h(0).cx(0, 1).t(1).cx(1, 2).rz(0.3, 2).cx(2, 3).h(3).cx(0, 1)
+    return circuit
+
+
+class TestWireView:
+    def test_next_and_prev(self):
+        circuit = sample_circuit()
+        view = WireView(circuit)
+        # gate 1 is cx(0,1); next gate on qubit 1 is gate 2 (t), on qubit 0 is gate 7.
+        assert view.next_on_qubit(1, 1) == 2
+        assert view.next_on_qubit(1, 0) == 7
+        assert view.prev_on_qubit(2, 1) == 1
+        assert view.prev_on_qubit(0, 0) is None
+
+    def test_successors(self):
+        view = WireView(sample_circuit())
+        assert view.successors(1) == (2, 7)
+
+
+class TestDag:
+    def test_node_and_edge_counts(self):
+        circuit = sample_circuit()
+        dag = circuit_to_dag(circuit)
+        assert dag.number_of_nodes() == len(circuit)
+        # Each wire between consecutive gates on a qubit is one edge.
+        assert dag.number_of_edges() == 8
+
+    def test_dag_is_acyclic(self):
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(circuit_to_dag(sample_circuit()))
+
+
+class TestBlockExtraction:
+    def test_block_respects_qubit_budget(self):
+        circuit = sample_circuit()
+        block = extract_block(circuit, 0, max_qubits=2)
+        assert len(block.qubits) <= 2
+        assert all(
+            set(circuit[i].qubits) <= set(block.qubits) for i in block.indices
+        )
+
+    def test_block_is_convex(self):
+        circuit = sample_circuit()
+        for start in range(len(circuit)):
+            block = extract_block(circuit, start, max_qubits=3)
+            assert is_convex_subcircuit(circuit, set(block.indices)), start
+
+    def test_max_gates_limit(self):
+        block = extract_block(sample_circuit(), 0, max_qubits=4, max_gates=3)
+        assert len(block) == 3
+
+    def test_seed_too_wide_raises(self):
+        circuit = Circuit(3).ccx(0, 1, 2)
+        with pytest.raises(ValueError):
+            extract_block(circuit, 0, max_qubits=2)
+
+    def test_bad_start_raises(self):
+        with pytest.raises(IndexError):
+            extract_block(sample_circuit(), 99)
+
+    def test_block_to_circuit_relabels(self):
+        circuit = sample_circuit()
+        block = extract_block(circuit, 3, max_qubits=2)
+        small = block_to_circuit(circuit, block)
+        assert small.num_qubits == len(block.qubits)
+        assert small.size() == len(block)
+
+
+class TestBlockReplacement:
+    def test_identity_replacement_preserves_semantics(self):
+        circuit = sample_circuit()
+        for start in range(len(circuit)):
+            block = extract_block(circuit, start, max_qubits=3)
+            small = block_to_circuit(circuit, block)
+            rebuilt = replace_block(circuit, block, small)
+            assert (
+                hilbert_schmidt_distance(circuit.unitary(), rebuilt.unitary()) < 1e-7
+            ), f"seed {start}"
+
+    def test_replacement_with_fewer_gates(self):
+        circuit = Circuit(2).cx(0, 1).cx(0, 1).h(0)
+        block = extract_block(circuit, 0, max_qubits=2, max_gates=2)
+        rebuilt = replace_block(circuit, block, Circuit(2))
+        assert rebuilt.size() == 1
+        assert hilbert_schmidt_distance(circuit.unitary(), rebuilt.unitary()) < 1e-7
+
+    def test_wrong_width_replacement_raises(self):
+        circuit = sample_circuit()
+        block = extract_block(circuit, 0, max_qubits=2)
+        with pytest.raises(ValueError):
+            replace_block(circuit, block, Circuit(3))
+
+
+class TestPartition:
+    def test_partition_covers_all_gates_disjointly(self):
+        circuit = sample_circuit()
+        blocks = partition_into_blocks(circuit, max_qubits=2)
+        seen = [index for block in blocks for index in block.indices]
+        assert sorted(seen) == list(range(len(circuit)))
+        assert len(seen) == len(set(seen))
+
+    def test_partition_respects_budget(self):
+        for block in partition_into_blocks(sample_circuit(), max_qubits=3):
+            assert len(block.qubits) <= 3
+
+    def test_wide_gate_gets_own_block(self):
+        circuit = Circuit(3).h(0).ccx(0, 1, 2).h(2)
+        blocks = partition_into_blocks(circuit, max_qubits=2)
+        widths = sorted(len(block.qubits) for block in blocks)
+        assert widths[-1] == 3
+
+
+class TestRandomBlock:
+    def test_random_block_valid(self):
+        rng = np.random.default_rng(7)
+        circuit = sample_circuit()
+        for _ in range(20):
+            block = random_block(circuit, rng, max_qubits=3)
+            assert block is not None
+            assert len(block.qubits) <= 3
+            assert is_convex_subcircuit(circuit, set(block.indices))
+
+    def test_random_block_empty_circuit(self):
+        rng = np.random.default_rng(0)
+        assert random_block(Circuit(2), rng) is None

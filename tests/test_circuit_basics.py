@@ -1,0 +1,162 @@
+"""Unit tests for the circuit IR: gates, unitaries, metrics, and conventions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Instruction, gate_spec, instruction
+from repro.circuits.gates import CX_MAT, H_MAT, T_MAT, rz_matrix
+from repro.utils.linalg import embed_gate, hilbert_schmidt_distance, is_unitary
+
+
+class TestGateRegistry:
+    def test_known_gate_lookup(self):
+        spec = gate_spec("cx")
+        assert spec.num_qubits == 2
+        assert spec.self_inverse
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            gate_spec("not_a_gate")
+
+    def test_case_insensitive(self):
+        assert gate_spec("CX") is gate_spec("cx")
+
+    @pytest.mark.parametrize("name", ["h", "x", "t", "s", "sx", "cx", "cz", "ccx", "swap"])
+    def test_fixed_gate_matrices_are_unitary(self, name):
+        assert is_unitary(gate_spec(name).matrix())
+
+    @pytest.mark.parametrize("name", ["rx", "ry", "rz", "u1", "crz", "rxx", "rzz", "cp"])
+    def test_parametric_gate_matrices_are_unitary(self, name):
+        assert is_unitary(gate_spec(name).matrix((0.7,)))
+
+    def test_u3_matrix_is_unitary(self):
+        assert is_unitary(gate_spec("u3").matrix((0.3, 1.1, -0.4)))
+
+    def test_t_squared_is_s(self):
+        np.testing.assert_allclose(T_MAT @ T_MAT, gate_spec("s").matrix(), atol=1e-12)
+
+    def test_inverse_names_are_consistent(self):
+        t, tdg = gate_spec("t"), gate_spec("tdg")
+        np.testing.assert_allclose(t.matrix() @ tdg.matrix(), np.eye(2), atol=1e-12)
+
+    def test_wrong_param_count_raises(self):
+        with pytest.raises(ValueError):
+            gate_spec("rz").matrix(())
+
+
+class TestInstruction:
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ValueError):
+            Instruction("cx", (0,))
+
+    def test_duplicate_qubits_raise(self):
+        with pytest.raises(ValueError):
+            Instruction("cx", (1, 1))
+
+    def test_rz_zero_is_identity(self):
+        assert instruction("rz", [0], [0.0]).is_identity()
+        assert not instruction("rz", [0], [0.3]).is_identity()
+
+    def test_remap(self):
+        inst = instruction("cx", [0, 1]).remapped({0: 3, 1: 5})
+        assert inst.qubits == (3, 5)
+
+
+class TestUnitaryConvention:
+    """Qubit 0 is the most-significant bit (paper Example 3.1)."""
+
+    def test_t_on_second_qubit_is_i_tensor_t(self):
+        circuit = Circuit(2).t(1)
+        np.testing.assert_allclose(circuit.unitary(), np.kron(np.eye(2), T_MAT), atol=1e-12)
+
+    def test_paper_example_3_1(self):
+        circuit = Circuit(2).t(1).cx(0, 1)
+        expected = CX_MAT @ np.kron(np.eye(2), T_MAT)
+        np.testing.assert_allclose(circuit.unitary(), expected, atol=1e-12)
+
+    def test_reversed_cx_matrix(self):
+        circuit = Circuit(2).cx(1, 0)
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex
+        )
+        np.testing.assert_allclose(circuit.unitary(), expected, atol=1e-12)
+
+    def test_embed_gate_matches_kron(self):
+        embedded = embed_gate(H_MAT, [2], 3)
+        np.testing.assert_allclose(embedded, np.kron(np.eye(4), H_MAT), atol=1e-12)
+
+    def test_statevector_bell_state(self):
+        state = Circuit(2).h(0).cx(0, 1).statevector()
+        expected = np.array([1, 0, 0, 1]) / math.sqrt(2)
+        np.testing.assert_allclose(state, expected, atol=1e-12)
+
+
+class TestCircuitOperations:
+    def test_counts_and_depth(self):
+        circuit = Circuit(3).h(0).cx(0, 1).t(2).cx(1, 2).rz(0.5, 0)
+        assert circuit.size() == 5
+        assert circuit.two_qubit_count() == 2
+        assert circuit.t_count() == 1
+        assert circuit.depth() == 3
+        assert circuit.gate_counts() == {"h": 1, "cx": 2, "t": 1, "rz": 1}
+
+    def test_empty_circuit_depth(self):
+        assert Circuit(2).depth() == 0
+
+    def test_inverse_composes_to_identity(self):
+        circuit = Circuit(2).h(0).t(0).cx(0, 1).rz(0.7, 1).sx(0)
+        roundtrip = circuit.compose(circuit.inverse())
+        assert hilbert_schmidt_distance(roundtrip.unitary(), np.eye(4)) < 1e-7
+
+    def test_copy_is_independent(self):
+        circuit = Circuit(2).h(0)
+        clone = circuit.copy()
+        clone.x(1)
+        assert circuit.size() == 1
+        assert clone.size() == 2
+
+    def test_out_of_range_qubit_raises(self):
+        with pytest.raises(ValueError):
+            Circuit(2).h(5)
+
+    def test_used_qubits(self):
+        circuit = Circuit(5).cx(3, 1)
+        assert circuit.used_qubits() == (1, 3)
+
+    def test_compose_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Circuit(2).compose(Circuit(3))
+
+    def test_rotation_merge_identity(self):
+        merged = Circuit(1).rz(0.3, 0).rz(0.4, 0)
+        single = Circuit(1).rz(0.7, 0)
+        assert hilbert_schmidt_distance(merged.unitary(), single.unitary()) < 1e-7
+
+    def test_rz_matrix_convention(self):
+        np.testing.assert_allclose(
+            rz_matrix(math.pi / 2),
+            np.diag([np.exp(-1j * math.pi / 4), np.exp(1j * math.pi / 4)]),
+            atol=1e-12,
+        )
+
+
+class TestHilbertSchmidtDistance:
+    def test_identical_unitaries(self):
+        unitary = Circuit(2).h(0).cx(0, 1).unitary()
+        assert hilbert_schmidt_distance(unitary, unitary) == pytest.approx(0.0, abs=1e-7)
+
+    def test_global_phase_invariance(self):
+        unitary = Circuit(2).h(0).cx(0, 1).unitary()
+        assert hilbert_schmidt_distance(unitary, np.exp(1j * 0.9) * unitary) < 1e-7
+
+    def test_orthogonal_unitaries(self):
+        # X vs Z have trace(X Z) = 0, giving the maximum distance of 1.
+        x = gate_spec("x").matrix()
+        z = gate_spec("z").matrix()
+        assert hilbert_schmidt_distance(x, z) == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hilbert_schmidt_distance(np.eye(2), np.eye(4))

@@ -1,0 +1,205 @@
+"""Tests for the GUOQ algorithm, transformations, and objectives."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, circuit_distance
+from repro.core import (
+    FTQC_DEFAULT_OBJECTIVE,
+    GuoqConfig,
+    GuoqOptimizer,
+    NegativeLogFidelity,
+    ResynthesisTransformation,
+    RewriteTransformation,
+    TCount,
+    TotalGateCount,
+    TwoQubitGateCount,
+    WeightedGateCount,
+    default_objective,
+    default_transformations,
+    guoq,
+    optimize_circuit,
+    rewrite_transformations,
+)
+from repro.core.objectives import DepthCost
+from repro.gatesets import CLIFFORD_T, IBM_EAGLE, decompose_to_gate_set, get_gate_set
+from repro.noise import IBM_WASHINGTON_LIKE
+from repro.rewrite import rules_for_gate_set
+from repro.rewrite.rules import CancelAdjacentSelfInverseTwoQubit
+from repro.synthesis import NumericalResynthesizer
+
+EPS = 1e-5
+
+
+def redundant_circuit() -> Circuit:
+    """Eagle-native circuit with obvious rewrite opportunities."""
+    circuit = Circuit(3, name="redundant")
+    circuit.rz(0.4, 0).rz(-0.4, 0).cx(0, 1).cx(0, 1)
+    circuit.sx(2).sx(2).rz(0.3, 1).cx(1, 2).rz(0.2, 1).cx(1, 2)
+    circuit.x(0).x(0)
+    return circuit
+
+
+class TestObjectives:
+    def test_two_qubit_count(self):
+        assert TwoQubitGateCount()(Circuit(2).h(0).cx(0, 1).cx(1, 0)) == 2.0
+
+    def test_t_count(self):
+        assert TCount()(Circuit(1).t(0).tdg(0).s(0)) == 2.0
+
+    def test_total_and_depth(self):
+        circuit = Circuit(2).h(0).cx(0, 1).h(1)
+        assert TotalGateCount()(circuit) == 3.0
+        assert DepthCost()(circuit) == 3.0
+
+    def test_weighted_ftqc_objective(self):
+        circuit = Circuit(2).t(0).t(1).cx(0, 1)
+        assert FTQC_DEFAULT_OBJECTIVE(circuit) == pytest.approx(2 * 2 + 1)
+
+    def test_weighted_accepts_gate_names(self):
+        cost = WeightedGateCount({"h": 1.0, "cx": 10.0})
+        assert cost(Circuit(2).h(0).cx(0, 1)) == pytest.approx(11.0)
+
+    def test_weighted_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WeightedGateCount({})
+
+    def test_negative_log_fidelity_monotone_in_gates(self):
+        cost = NegativeLogFidelity(IBM_WASHINGTON_LIKE)
+        one = Circuit(2).cx(0, 1)
+        two = Circuit(2).cx(0, 1).cx(0, 1)
+        assert cost(two) > cost(one) > 0.0
+
+    def test_default_objective_modes(self):
+        assert default_objective("ibm-eagle", "2q").name == "two_qubit_gate_count"
+        assert "fidelity" in default_objective("ibm-eagle", "nisq").name
+        assert default_objective("clifford+t", "ftqc") is FTQC_DEFAULT_OBJECTIVE
+        with pytest.raises(ValueError):
+            default_objective("ibm-eagle", "bogus")
+
+
+class TestTransformations:
+    def test_rewrite_transformation_is_exact(self):
+        rule = CancelAdjacentSelfInverseTwoQubit(["cx"])
+        transformation = RewriteTransformation(rule)
+        circuit = Circuit(2).cx(0, 1).cx(0, 1)
+        result = transformation.apply(circuit, np.random.default_rng(0))
+        assert result is not None
+        assert result.charged_epsilon == 0.0
+        assert result.circuit.size() == 0
+
+    def test_rewrite_transformation_returns_none_without_match(self):
+        rule = CancelAdjacentSelfInverseTwoQubit(["cx"])
+        transformation = RewriteTransformation(rule)
+        assert transformation.apply(Circuit(2).h(0), np.random.default_rng(0)) is None
+
+    def test_resynthesis_transformation_preserves_semantics(self):
+        resynthesizer = NumericalResynthesizer(IBM_EAGLE, rng=0, time_budget=1.0)
+        transformation = ResynthesisTransformation(resynthesizer)
+        circuit = decompose_to_gate_set(Circuit(2).cx(0, 1).rz(0.5, 1).cx(0, 1), IBM_EAGLE)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            result = transformation.apply(circuit, rng)
+            if result is not None:
+                assert circuit_distance(circuit, result.circuit) < EPS
+                break
+        else:
+            pytest.skip("resynthesis never fired on this tiny circuit")
+
+    def test_rewrite_transformations_factory(self):
+        transformations = rewrite_transformations(rules_for_gate_set(IBM_EAGLE))
+        assert all(isinstance(t, RewriteTransformation) for t in transformations)
+        assert all(t.epsilon == 0.0 for t in transformations)
+
+
+class TestGuoqAlgorithm:
+    def test_requires_transformations(self):
+        with pytest.raises(ValueError):
+            GuoqOptimizer([])
+
+    def test_reduces_redundant_circuit(self):
+        circuit = redundant_circuit()
+        transformations = rewrite_transformations(rules_for_gate_set(IBM_EAGLE))
+        config = GuoqConfig(time_limit=2.0, seed=0, max_iterations=500)
+        result = guoq(circuit, transformations, TwoQubitGateCount(), config)
+        assert result.best_circuit.two_qubit_count() < circuit.two_qubit_count()
+        assert circuit_distance(circuit, result.best_circuit) < EPS
+        assert result.best_cost <= result.initial_cost
+
+    def test_zero_error_bound_with_rewrites_only(self):
+        circuit = redundant_circuit()
+        transformations = rewrite_transformations(rules_for_gate_set(IBM_EAGLE))
+        result = guoq(circuit, transformations, config=GuoqConfig(time_limit=1.0, seed=1))
+        assert result.error_bound == 0.0
+
+    def test_history_is_monotone(self):
+        circuit = redundant_circuit()
+        transformations = rewrite_transformations(rules_for_gate_set(IBM_EAGLE))
+        result = guoq(circuit, transformations, config=GuoqConfig(time_limit=1.0, seed=2))
+        costs = [point.cost for point in result.history]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_max_iterations_respected(self):
+        circuit = redundant_circuit()
+        transformations = rewrite_transformations(rules_for_gate_set(IBM_EAGLE))
+        config = GuoqConfig(time_limit=30.0, max_iterations=25, seed=3)
+        result = guoq(circuit, transformations, config=config)
+        assert result.iterations <= 25
+
+    def test_seeded_runs_are_reproducible(self):
+        circuit = redundant_circuit()
+        transformations = rewrite_transformations(rules_for_gate_set(IBM_EAGLE))
+        config = GuoqConfig(time_limit=5.0, max_iterations=200, seed=7)
+        first = guoq(circuit, transformations, config=config)
+        second = guoq(circuit, transformations, config=config)
+        assert first.best_circuit == second.best_circuit
+
+    def test_epsilon_budget_blocks_approximate_transformations(self):
+        circuit = decompose_to_gate_set(Circuit(2).cx(0, 1).rz(0.5, 1).cx(0, 1), IBM_EAGLE)
+        resynthesizer = NumericalResynthesizer(IBM_EAGLE, epsilon=1e-3, rng=0, time_budget=0.5)
+        transformation = ResynthesisTransformation(resynthesizer)
+        config = GuoqConfig(epsilon_budget=1e-9, time_limit=0.5, max_iterations=50, seed=0)
+        result = guoq(circuit, [transformation], config=config)
+        # Every resynthesis attempt exceeds the budget, so all are skipped.
+        assert result.skipped_budget == result.iterations
+        assert result.best_circuit == circuit
+
+    def test_cost_reduction_property(self):
+        circuit = redundant_circuit()
+        transformations = rewrite_transformations(rules_for_gate_set(IBM_EAGLE))
+        result = guoq(circuit, transformations, TotalGateCount(), GuoqConfig(time_limit=1.0, seed=4))
+        assert 0.0 <= result.cost_reduction <= 1.0
+
+
+class TestInstantiation:
+    def test_default_transformations_counts(self):
+        both = default_transformations("ibm-eagle", rng=0)
+        rewrites_only = default_transformations("ibm-eagle", include_resynthesis=False)
+        resynth_only = default_transformations("ibm-eagle", include_rewrites=False, rng=0)
+        assert len(both) == len(rewrites_only) + len(resynth_only)
+        assert len(resynth_only) == 1
+
+    def test_default_transformations_clifford_t(self):
+        transformations = default_transformations("clifford+t", rng=0)
+        assert any(isinstance(t, ResynthesisTransformation) for t in transformations)
+
+    def test_requires_at_least_one_kind(self):
+        with pytest.raises(ValueError):
+            default_transformations("nam", include_rewrites=False, include_resynthesis=False)
+
+    def test_optimize_circuit_end_to_end(self):
+        gate_set = get_gate_set("ibm-eagle")
+        circuit = decompose_to_gate_set(Circuit(3).ccx(0, 1, 2).ccx(0, 1, 2), gate_set)
+        result = optimize_circuit(
+            circuit,
+            gate_set,
+            objective="nisq",
+            time_limit=3.0,
+            seed=0,
+            synthesis_time_budget=0.5,
+        )
+        assert circuit_distance(circuit, result.best_circuit) < EPS
+        assert result.best_cost <= result.initial_cost
+        assert gate_set.contains_circuit(result.best_circuit)

@@ -1,0 +1,112 @@
+"""Property-based tests for analytic single-qubit (Euler) synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import gate_spec
+from repro.circuits.euler import (
+    one_qubit_circuit,
+    u3_circuit,
+    zh_circuit,
+    zsx_circuit,
+    zyz_angles,
+    zyz_circuit,
+)
+from repro.utils.linalg import hilbert_schmidt_distance
+
+EPS = 1e-6
+BASES = ["u3", "zsx", "zyz", "zh"]
+
+_ALLOWED_GATES = {
+    "u3": {"u3", "u1"},
+    "zsx": {"rz", "sx"},
+    "zyz": {"rz", "ry"},
+    "zh": {"rz", "h"},
+}
+
+
+@st.composite
+def random_unitary_2x2(draw):
+    """Random single-qubit unitary built from Euler angles and a phase."""
+    theta = draw(st.floats(min_value=0.0, max_value=np.pi))
+    phi = draw(st.floats(min_value=-np.pi, max_value=np.pi))
+    lam = draw(st.floats(min_value=-np.pi, max_value=np.pi))
+    phase = draw(st.floats(min_value=-np.pi, max_value=np.pi))
+    from repro.circuits.gates import u3_matrix
+
+    return np.exp(1j * phase) * u3_matrix(theta, phi, lam)
+
+
+class TestZyzAngles:
+    def test_identity(self):
+        theta, phi, lam = zyz_angles(np.eye(2))
+        assert theta == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            zyz_angles(np.eye(4))
+
+    @settings(max_examples=60, deadline=None)
+    @given(unitary=random_unitary_2x2())
+    def test_angles_reconstruct_unitary(self, unitary):
+        theta, phi, lam = zyz_angles(unitary)
+        from repro.circuits.gates import rz_matrix, ry_matrix
+
+        rebuilt = rz_matrix(phi) @ ry_matrix(theta) @ rz_matrix(lam)
+        assert hilbert_schmidt_distance(unitary, rebuilt) < EPS
+
+
+@pytest.mark.parametrize("basis", BASES)
+class TestBasisSynthesis:
+    @settings(max_examples=40, deadline=None)
+    @given(unitary=random_unitary_2x2())
+    def test_random_unitaries(self, basis, unitary):
+        circuit = one_qubit_circuit(unitary, basis)
+        assert hilbert_schmidt_distance(unitary, circuit.unitary()) < EPS
+        assert {inst.gate for inst in circuit} <= _ALLOWED_GATES[basis]
+
+    @pytest.mark.parametrize("gate", ["h", "x", "s", "t", "sx", "z", "sdg"])
+    def test_fixed_gates(self, basis, gate):
+        unitary = gate_spec(gate).matrix()
+        circuit = one_qubit_circuit(unitary, basis)
+        assert hilbert_schmidt_distance(unitary, circuit.unitary()) < EPS
+
+    def test_identity_produces_empty_circuit(self, basis):
+        circuit = one_qubit_circuit(np.eye(2), basis)
+        assert circuit.size() == 0
+
+    def test_diagonal_produces_single_rotation(self, basis):
+        unitary = np.diag([1.0, np.exp(1j * 0.8)])
+        circuit = one_qubit_circuit(unitary, basis)
+        assert circuit.size() <= 1
+
+
+class TestSpecificForms:
+    def test_u3_is_at_most_one_gate(self):
+        from scipy.stats import unitary_group
+
+        unitary = unitary_group.rvs(2, random_state=3)
+        assert u3_circuit(unitary).size() <= 1
+
+    def test_zsx_uses_at_most_two_sx(self):
+        from scipy.stats import unitary_group
+
+        unitary = unitary_group.rvs(2, random_state=4)
+        assert zsx_circuit(unitary).count("sx") <= 2
+
+    def test_zyz_has_at_most_three_gates(self):
+        from scipy.stats import unitary_group
+
+        unitary = unitary_group.rvs(2, random_state=5)
+        assert zyz_circuit(unitary).size() <= 3
+
+    def test_zh_has_at_most_five_gates(self):
+        from scipy.stats import unitary_group
+
+        unitary = unitary_group.rvs(2, random_state=6)
+        assert zh_circuit(unitary).size() <= 5
+
+    def test_unknown_basis_raises(self):
+        with pytest.raises(ValueError):
+            one_qubit_circuit(np.eye(2), "xyzzy")

@@ -1,0 +1,88 @@
+"""Tests for the OpenQASM 2.0 importer/exporter."""
+
+import math
+
+import pytest
+
+from repro.circuits import Circuit, circuits_equivalent
+from repro.circuits import qasm
+
+
+SAMPLE = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[2];
+ccx q[0],q[1],q[2];
+u3(0.1,0.2,0.3) q[1];
+cp(pi/2) q[0],q[2];
+measure q[0] -> c[0];
+barrier q[0],q[1];
+"""
+
+
+class TestParsing:
+    def test_parses_gates_and_skips_non_gates(self):
+        circuit = qasm.loads(SAMPLE)
+        assert circuit.num_qubits == 3
+        assert circuit.gate_counts() == {"h": 1, "cx": 1, "rz": 1, "ccx": 1, "u3": 1, "cp": 1}
+
+    def test_angle_expressions(self):
+        circuit = qasm.loads("OPENQASM 2.0; qreg q[1]; rz(3*pi/2) q[0]; rz(-pi/4) q[0];")
+        assert circuit[0].params[0] == pytest.approx(3 * math.pi / 2)
+        assert circuit[1].params[0] == pytest.approx(-math.pi / 4)
+
+    def test_multiple_registers_are_flattened(self):
+        text = "OPENQASM 2.0; qreg a[2]; qreg b[2]; cx a[1],b[0];"
+        circuit = qasm.loads(text)
+        assert circuit.num_qubits == 4
+        assert circuit[0].qubits == (1, 2)
+
+    def test_cnot_alias(self):
+        circuit = qasm.loads("OPENQASM 2.0; qreg q[2]; cnot q[0],q[1];")
+        assert circuit[0].gate == "cx"
+
+    def test_no_qubits_raises(self):
+        with pytest.raises(qasm.QasmError):
+            qasm.loads("OPENQASM 2.0; creg c[2];")
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(qasm.QasmError):
+            qasm.loads("OPENQASM 2.0; qreg q[2]; cx q[0],r[1];")
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(qasm.QasmError):
+            qasm.loads("OPENQASM 2.0; qreg q[2]; h q[5];")
+
+    def test_bad_angle_raises(self):
+        with pytest.raises(qasm.QasmError):
+            qasm.loads("OPENQASM 2.0; qreg q[1]; rz(import_os) q[0];")
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_semantics(self):
+        circuit = Circuit(3).h(0).cx(0, 1).t(2).rz(0.7, 1).ccx(0, 1, 2).cp(math.pi / 4, 0, 2)
+        text = qasm.dumps(circuit)
+        parsed = qasm.loads(text)
+        assert parsed.num_qubits == 3
+        assert circuits_equivalent(circuit, parsed, 1e-6)
+
+    def test_round_trip_preserves_counts(self):
+        circuit = Circuit(2).h(0).sx(1).rz(math.pi, 0).cx(1, 0)
+        parsed = qasm.loads(qasm.dumps(circuit))
+        assert parsed.gate_counts() == circuit.gate_counts()
+
+    def test_file_round_trip(self, tmp_path):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        path = tmp_path / "bell.qasm"
+        qasm.dump_file(circuit, str(path))
+        loaded = qasm.load_file(str(path))
+        assert circuits_equivalent(circuit, loaded, 1e-7)
+
+    def test_pi_formatting(self):
+        circuit = Circuit(1).rz(math.pi, 0).rz(math.pi / 2, 0).rz(-math.pi / 4, 0)
+        text = qasm.dumps(circuit)
+        assert "rz(pi)" in text and "rz(pi/2)" in text and "rz(-pi/4)" in text

@@ -1,0 +1,90 @@
+"""Property-based tests: every rewrite library preserves circuit semantics.
+
+Random circuits are generated inside each gate set; applying the full rule
+library to a fixpoint must (1) preserve the unitary up to global phase,
+(2) never increase the total gate count, and (3) keep the circuit inside its
+gate set.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, circuit_distance
+from repro.gatesets import ALL_GATE_SETS
+from repro.rewrite import apply_until_fixpoint, rules_for_gate_set
+
+EPS = 5e-6
+MAX_QUBITS = 4
+
+_ANGLES = [0.0, math.pi / 4, math.pi / 2, math.pi, -math.pi / 4, 0.3, 1.7, -2.2]
+
+_GATE_SET_1Q = {
+    "ibmq20": [("u1", 1), ("u2", 2), ("u3", 3)],
+    "ibm-eagle": [("rz", 1), ("sx", 0), ("x", 0)],
+    "ionq": [("rx", 1), ("ry", 1), ("rz", 1)],
+    "nam": [("rz", 1), ("h", 0), ("x", 0)],
+    "clifford+t": [("t", 0), ("tdg", 0), ("s", 0), ("sdg", 0), ("h", 0), ("x", 0), ("z", 0)],
+}
+
+_GATE_SET_2Q = {
+    "ibmq20": "cx",
+    "ibm-eagle": "cx",
+    "ionq": "rxx",
+    "nam": "cx",
+    "clifford+t": "cx",
+}
+
+
+@st.composite
+def circuit_in_gate_set(draw, gate_set_name: str):
+    num_qubits = draw(st.integers(min_value=2, max_value=MAX_QUBITS))
+    length = draw(st.integers(min_value=0, max_value=25))
+    circuit = Circuit(num_qubits, name=f"random_{gate_set_name}")
+    one_qubit_choices = _GATE_SET_1Q[gate_set_name]
+    entangler = _GATE_SET_2Q[gate_set_name]
+    for _ in range(length):
+        if draw(st.booleans()) or num_qubits < 2:
+            gate, nparams = draw(st.sampled_from(one_qubit_choices))
+            qubit = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+            params = [draw(st.sampled_from(_ANGLES)) for _ in range(nparams)]
+            circuit.add(gate, [qubit], params)
+        else:
+            a = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+            b = draw(st.integers(min_value=0, max_value=num_qubits - 1).filter(lambda x: x != a))
+            if entangler == "rxx":
+                circuit.add("rxx", [a, b], [draw(st.sampled_from(_ANGLES))])
+            else:
+                circuit.add("cx", [a, b])
+    return circuit
+
+
+def _check_library_on(circuit: Circuit, gate_set_name: str) -> None:
+    gate_set = ALL_GATE_SETS[gate_set_name]
+    rules = rules_for_gate_set(gate_set)
+    optimized, _ = apply_until_fixpoint(circuit, rules)
+    assert optimized.size() <= circuit.size()
+    assert gate_set.contains_circuit(optimized), optimized.gate_counts()
+    assert circuit_distance(circuit, optimized) < EPS
+
+
+@pytest.mark.parametrize("gate_set_name", sorted(ALL_GATE_SETS))
+class TestRewriteLibrariesPreserveSemantics:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_random_circuits(self, gate_set_name, data):
+        circuit = data.draw(circuit_in_gate_set(gate_set_name))
+        _check_library_on(circuit, gate_set_name)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_rewrites_are_idempotent_at_fixpoint(data):
+    gate_set_name = data.draw(st.sampled_from(sorted(ALL_GATE_SETS)))
+    circuit = data.draw(circuit_in_gate_set(gate_set_name))
+    rules = rules_for_gate_set(ALL_GATE_SETS[gate_set_name])
+    optimized, _ = apply_until_fixpoint(circuit, rules)
+    again, changed = apply_until_fixpoint(optimized, rules)
+    assert changed == 0
+    assert again == optimized

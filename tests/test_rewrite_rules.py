@@ -1,0 +1,289 @@
+"""Unit tests for individual rewrite rules."""
+
+import math
+
+import pytest
+
+from repro.circuits import Circuit, circuits_equivalent
+from repro.rewrite import (
+    CancelAdjacentSelfInverseTwoQubit,
+    CancelInverseOneQubitPairs,
+    FuseOneQubitRuns,
+    MergePhaseGates,
+    MergeRotations,
+    RemoveIdentityGates,
+    SequencePatternRule,
+    apply_until_fixpoint,
+    rules_for_gate_set,
+)
+from repro.gatesets import ALL_GATE_SETS
+
+EPS = 1e-6
+
+
+class TestRemoveIdentity:
+    def test_removes_zero_rotations_and_id(self):
+        circuit = Circuit(2).rz(0.0, 0).add("id", [1]).h(0).u1(0.0, 1)
+        result, count = RemoveIdentityGates().apply_pass(circuit)
+        assert count == 3
+        assert result.size() == 1
+        assert circuits_equivalent(circuit, result, EPS)
+
+    def test_keeps_nontrivial_rotations(self):
+        circuit = Circuit(1).rz(0.5, 0)
+        result, count = RemoveIdentityGates().apply_pass(circuit)
+        assert count == 0
+        assert result.size() == 1
+
+
+class TestCancelOneQubitPairs:
+    def test_hh_cancel(self):
+        circuit = Circuit(1).h(0).h(0)
+        result, count = CancelInverseOneQubitPairs(["h"]).apply_pass(circuit)
+        assert count == 1 and result.size() == 0
+
+    def test_t_tdg_cancel(self):
+        circuit = Circuit(1).t(0).tdg(0)
+        rule = CancelInverseOneQubitPairs(["t", "tdg"])
+        result, count = rule.apply_pass(circuit)
+        assert count == 1 and result.size() == 0
+
+    def test_tdg_t_cancel_reverse_order(self):
+        circuit = Circuit(1).tdg(0).t(0)
+        rule = CancelInverseOneQubitPairs(["t", "tdg"])
+        result, _ = rule.apply_pass(circuit)
+        assert result.size() == 0
+
+    def test_blocked_by_other_gate(self):
+        circuit = Circuit(1).h(0).t(0).h(0)
+        result, count = CancelInverseOneQubitPairs(["h"]).apply_pass(circuit)
+        assert count == 0 and result.size() == 3
+
+    def test_different_qubits_do_not_cancel(self):
+        circuit = Circuit(2).h(0).h(1)
+        result, count = CancelInverseOneQubitPairs(["h"]).apply_pass(circuit)
+        assert count == 0
+
+    def test_cascading_needs_fixpoint(self):
+        circuit = Circuit(1).h(0).x(0).x(0).h(0)
+        rules = [CancelInverseOneQubitPairs(["h", "x"])]
+        result, _ = apply_until_fixpoint(circuit, rules)
+        assert result.size() == 0
+
+    def test_semantics_preserved(self):
+        circuit = Circuit(2).h(0).h(0).t(1).s(1).sdg(1)
+        result, _ = apply_until_fixpoint(
+            circuit, [CancelInverseOneQubitPairs(["h", "s", "sdg"])]
+        )
+        assert circuits_equivalent(circuit, result, EPS)
+
+
+class TestCancelTwoQubitPairs:
+    def test_adjacent_cx_cancel(self):
+        circuit = Circuit(2).cx(0, 1).cx(0, 1)
+        result, count = CancelAdjacentSelfInverseTwoQubit(["cx"]).apply_pass(circuit)
+        assert count == 1 and result.size() == 0
+
+    def test_reversed_cx_does_not_cancel(self):
+        circuit = Circuit(2).cx(0, 1).cx(1, 0)
+        result, count = CancelAdjacentSelfInverseTwoQubit(["cx"]).apply_pass(circuit)
+        assert count == 0
+
+    def test_cancel_through_commuting_rz_on_control(self):
+        # Fig. 3c: Rz on the control commutes with CX, so the two CX cancel.
+        circuit = Circuit(2).cx(0, 1).rz(0.7, 0).cx(0, 1)
+        result, count = CancelAdjacentSelfInverseTwoQubit(["cx"]).apply_pass(circuit)
+        assert count == 1
+        assert result.size() == 1
+        assert circuits_equivalent(circuit, result, EPS)
+
+    def test_cancel_through_x_on_target(self):
+        circuit = Circuit(2).cx(0, 1).x(1).cx(0, 1)
+        result, count = CancelAdjacentSelfInverseTwoQubit(["cx"]).apply_pass(circuit)
+        assert count == 1
+        assert circuits_equivalent(circuit, result, EPS)
+
+    def test_blocked_by_h_on_control(self):
+        circuit = Circuit(2).cx(0, 1).h(0).cx(0, 1)
+        result, count = CancelAdjacentSelfInverseTwoQubit(["cx"]).apply_pass(circuit)
+        assert count == 0
+
+    def test_blocked_by_rz_on_target(self):
+        circuit = Circuit(2).cx(0, 1).rz(0.3, 1).cx(0, 1)
+        result, count = CancelAdjacentSelfInverseTwoQubit(["cx"]).apply_pass(circuit)
+        assert count == 0
+
+    def test_cancel_through_another_cx_same_control(self):
+        circuit = Circuit(3).cx(0, 1).cx(0, 2).cx(0, 1)
+        result, count = CancelAdjacentSelfInverseTwoQubit(["cx"]).apply_pass(circuit)
+        assert count == 1
+        assert result.two_qubit_count() == 1
+        assert circuits_equivalent(circuit, result, EPS)
+
+    def test_no_commutation_mode(self):
+        circuit = Circuit(2).cx(0, 1).rz(0.7, 0).cx(0, 1)
+        rule = CancelAdjacentSelfInverseTwoQubit(["cx"], use_commutation=False)
+        result, count = rule.apply_pass(circuit)
+        assert count == 0
+
+    def test_cz_cancel(self):
+        circuit = Circuit(2).cz(0, 1).t(0).cz(0, 1)
+        result, count = CancelAdjacentSelfInverseTwoQubit(["cz"]).apply_pass(circuit)
+        assert count == 1
+        assert circuits_equivalent(circuit, result, EPS)
+
+
+class TestMergeRotations:
+    def test_adjacent_rz_merge(self):
+        circuit = Circuit(1).rz(0.3, 0).rz(0.4, 0)
+        result, count = MergeRotations(["rz"]).apply_pass(circuit)
+        assert count == 1 and result.size() == 1
+        assert result[0].params[0] == pytest.approx(0.7)
+
+    def test_merge_to_identity_removed(self):
+        circuit = Circuit(1).rz(0.5, 0).rz(-0.5, 0)
+        result, _ = MergeRotations(["rz"]).apply_pass(circuit)
+        assert result.size() == 0
+
+    def test_merge_through_cx_control(self):
+        # Figs. 3c + 3d: the two Rz on the control merge across the CX.
+        circuit = Circuit(2).rz(math.pi / 2, 0).cx(0, 1).rz(math.pi / 2, 0)
+        result, count = MergeRotations(["rz"]).apply_pass(circuit)
+        assert count == 1
+        assert result.size() == 2
+        assert circuits_equivalent(circuit, result, EPS)
+
+    def test_blocked_through_cx_target(self):
+        circuit = Circuit(2).rz(0.3, 1).cx(0, 1).rz(0.3, 1)
+        result, count = MergeRotations(["rz"]).apply_pass(circuit)
+        assert count == 0
+
+    def test_rx_merge_through_cx_target(self):
+        circuit = Circuit(2).rx(0.3, 1).cx(0, 1).rx(0.2, 1)
+        result, count = MergeRotations(["rx"]).apply_pass(circuit)
+        assert count == 1
+        assert circuits_equivalent(circuit, result, EPS)
+
+    def test_rzz_merge(self):
+        circuit = Circuit(2).rzz(0.3, 0, 1).rzz(0.4, 0, 1)
+        result, count = MergeRotations(["rzz"], use_commutation=False).apply_pass(circuit)
+        assert count == 1 and result.size() == 1
+        assert circuits_equivalent(circuit, result, EPS)
+
+    def test_different_qubits_not_merged(self):
+        circuit = Circuit(2).rz(0.3, 0).rz(0.4, 1)
+        _, count = MergeRotations(["rz"]).apply_pass(circuit)
+        assert count == 0
+
+
+class TestMergePhaseGates:
+    def test_tt_to_s(self):
+        circuit = Circuit(1).t(0).t(0)
+        result, count = MergePhaseGates().apply_pass(circuit)
+        assert count == 1
+        assert result.gate_counts() == {"s": 1}
+        assert circuits_equivalent(circuit, result, EPS)
+
+    def test_ss_to_z(self):
+        circuit = Circuit(1).s(0).s(0)
+        result, _ = MergePhaseGates().apply_pass(circuit)
+        assert result.gate_counts() == {"z": 1}
+
+    def test_t_tdg_cancel(self):
+        circuit = Circuit(1).t(0).tdg(0)
+        result, _ = MergePhaseGates().apply_pass(circuit)
+        assert result.size() == 0
+
+    def test_merge_through_cx_control(self):
+        circuit = Circuit(2).t(0).cx(0, 1).t(0)
+        result, count = MergePhaseGates().apply_pass(circuit)
+        assert count == 1
+        assert result.t_count() == 0
+        assert circuits_equivalent(circuit, result, EPS)
+
+    def test_blocked_by_h(self):
+        circuit = Circuit(1).t(0).h(0).t(0)
+        _, count = MergePhaseGates().apply_pass(circuit)
+        assert count == 0
+
+    def test_z_t_merges(self):
+        circuit = Circuit(1).z(0).t(0)
+        result, _ = MergePhaseGates().apply_pass(circuit)
+        assert circuits_equivalent(circuit, result, EPS)
+        assert result.size() <= 2
+
+
+class TestSequencePattern:
+    def test_hxh_to_z(self):
+        circuit = Circuit(1).h(0).x(0).h(0)
+        rule = SequencePatternRule(["h", "x", "h"], ["z"])
+        result, count = rule.apply_pass(circuit)
+        assert count == 1
+        assert result.gate_counts() == {"z": 1}
+        assert circuits_equivalent(circuit, result, EPS)
+
+    def test_sxsx_to_x(self):
+        circuit = Circuit(1).sx(0).sx(0)
+        result, _ = SequencePatternRule(["sx", "sx"], ["x"]).apply_pass(circuit)
+        assert result.gate_counts() == {"x": 1}
+        assert circuits_equivalent(circuit, result, EPS)
+
+    def test_pattern_requires_adjacency_on_wire(self):
+        circuit = Circuit(1).h(0).t(0).x(0).h(0)
+        _, count = SequencePatternRule(["h", "x", "h"], ["z"]).apply_pass(circuit)
+        assert count == 0
+
+    def test_hshsh_to_sdg(self):
+        circuit = Circuit(1).h(0).s(0).h(0).s(0).h(0)
+        rule = SequencePatternRule(["h", "s", "h", "s", "h"], ["sdg"])
+        result, count = rule.apply_pass(circuit)
+        assert count == 1
+        assert circuits_equivalent(circuit, result, EPS)
+
+    def test_gates_on_other_qubits_do_not_block(self):
+        circuit = Circuit(2).h(0).cx(1, 1) if False else Circuit(2).h(0).x(1).x(0).h(0)
+        rule = SequencePatternRule(["h", "x", "h"], ["z"])
+        result, count = rule.apply_pass(circuit)
+        assert count == 1
+        assert circuits_equivalent(circuit, result, EPS)
+
+
+class TestFuseOneQubitRuns:
+    def test_fuses_long_run_to_u3(self):
+        circuit = Circuit(1).h(0).t(0).h(0).s(0).rz(0.3, 0)
+        result, count = FuseOneQubitRuns("u3").apply_pass(circuit)
+        assert count == 1
+        assert result.size() <= 2
+        assert circuits_equivalent(circuit, result, EPS)
+
+    def test_does_not_grow(self):
+        circuit = Circuit(1).rz(0.4, 0).h(0)
+        result, count = FuseOneQubitRuns("zh").apply_pass(circuit)
+        assert result.size() <= circuit.size()
+        assert circuits_equivalent(circuit, result, EPS)
+
+    def test_runs_bounded_by_two_qubit_gates(self):
+        circuit = Circuit(2).h(0).t(0).cx(0, 1).h(0).t(0)
+        result, _ = FuseOneQubitRuns("u3").apply_pass(circuit)
+        assert result.two_qubit_count() == 1
+        assert circuits_equivalent(circuit, result, EPS)
+
+    def test_zsx_basis(self):
+        circuit = Circuit(1).h(0).t(0).h(0).t(0).h(0).s(0)
+        result, _ = FuseOneQubitRuns("zsx").apply_pass(circuit)
+        assert circuits_equivalent(circuit, result, EPS)
+        assert all(inst.gate in {"rz", "sx", "x"} for inst in result)
+
+
+class TestRuleLibraries:
+    @pytest.mark.parametrize("name", sorted(ALL_GATE_SETS))
+    def test_library_exists_and_nonempty(self, name):
+        rules = rules_for_gate_set(ALL_GATE_SETS[name])
+        assert len(rules) >= 3
+
+    def test_unknown_gate_set_raises(self):
+        from repro.gatesets.base import GateSet
+
+        custom = GateSet("custom", frozenset({"h"}), "none", True, "cx", "u3")
+        with pytest.raises(KeyError):
+            rules_for_gate_set(custom)

@@ -1,0 +1,216 @@
+"""Tests for benchmark generators, suite assembly, and noise models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, circuit_distance
+from repro.gatesets import ALL_GATE_SETS, CLIFFORD_T, decompose_to_gate_set
+from repro.noise import (
+    FTQC_LOGICAL,
+    IBM_WASHINGTON_LIKE,
+    IONQ_FORTE_LIKE,
+    device_for_gate_set,
+)
+from repro.suite import (
+    barenco_toffoli,
+    bernstein_vazirani,
+    draper_adder,
+    ftqc_suite,
+    ghz,
+    grover,
+    hidden_shift,
+    ising_trotter,
+    lowered_suite,
+    nisq_suite,
+    qaoa_maxcut,
+    qft,
+    qpe,
+    random_clifford_t,
+    random_parameterized,
+    ripple_carry_adder,
+    toffoli_chain,
+    vbe_adder,
+    vqe_ansatz,
+)
+
+
+def _basis_state(circuit: Circuit, bits: str) -> np.ndarray:
+    state = np.zeros(2**circuit.num_qubits, dtype=complex)
+    state[int(bits, 2)] = 1.0
+    return state
+
+
+class TestGeneratorSemantics:
+    def test_qft_matches_fourier_matrix(self):
+        n = 3
+        circuit = qft(n, with_swaps=True)
+        dim = 2**n
+        omega = np.exp(2j * np.pi / dim)
+        expected = np.array([[omega ** (j * k) for k in range(dim)] for j in range(dim)]) / math.sqrt(dim)
+        assert np.allclose(circuit.unitary(), expected, atol=1e-8)
+
+    def test_ghz_statevector(self):
+        state = ghz(4).statevector()
+        expected = np.zeros(16, dtype=complex)
+        expected[0] = expected[-1] = 1 / math.sqrt(2)
+        assert np.allclose(state, expected, atol=1e-9)
+
+    def test_bernstein_vazirani_recovers_secret(self):
+        secret = 0b101
+        circuit = bernstein_vazirani(4, secret=secret)
+        state = circuit.statevector()
+        probabilities = np.abs(state) ** 2
+        # Counting qubits are the first three; the answer qubit is in |->.
+        outcome = int(np.argmax(probabilities))
+        assert (outcome >> 1) == secret
+
+    def test_toffoli_chain_computes_and_of_controls(self):
+        circuit = toffoli_chain(2)  # 4 qubits
+        state = circuit.statevector(_basis_state(circuit, "1100"))
+        outcome = int(np.argmax(np.abs(state) ** 2))
+        # The chain computes the AND of the controls into the last qubit and
+        # uncomputes the intermediate: q3 = 1, q2 restored to 0.
+        assert outcome == 0b1101
+
+    def test_barenco_toffoli_flips_target_only_when_all_controls_set(self):
+        circuit = barenco_toffoli(3)  # controls 0..2, ancilla 3, target 4
+        all_set = circuit.statevector(_basis_state(circuit, "11100"))
+        assert int(np.argmax(np.abs(all_set) ** 2)) == int("11101", 2)
+        one_missing = circuit.statevector(_basis_state(circuit, "10100"))
+        assert int(np.argmax(np.abs(one_missing) ** 2)) == int("10100", 2)
+
+    def test_ripple_carry_adder_adds(self):
+        num_bits = 2
+        circuit = ripple_carry_adder(num_bits)
+        # layout: carry_in, a0, a1, b0, b1, carry_out; a=3 (11), b=1 (01)
+        bits = "0" + "11" + "10" + "0"  # a0=1,a1=1 (a=3 little-endian), b0=1,b1=0 (b=1)
+        state = circuit.statevector(_basis_state(circuit, bits))
+        outcome = format(int(np.argmax(np.abs(state) ** 2)), f"0{circuit.num_qubits}b")
+        # b register (positions 3,4 little-endian b0,b1) + carry_out should hold a+b = 4 -> b=00, carry=1
+        assert outcome[3:5] == "00" and outcome[5] == "1"
+        # a register is restored
+        assert outcome[1:3] == "11"
+
+    def test_grover_amplifies_marked_state(self):
+        circuit = grover(3, iterations=2, marked=0b101)
+        probabilities = np.abs(circuit.statevector()) ** 2
+        assert int(np.argmax(probabilities)) == 0b101
+        assert probabilities[0b101] > 0.8
+
+    def test_qpe_estimates_phase(self):
+        num_counting = 3
+        circuit = qpe(num_counting, phase=0.25)
+        probabilities = np.abs(circuit.statevector()) ** 2
+        outcome = int(np.argmax(probabilities))
+        counting = outcome >> 1  # drop target qubit
+        estimated = counting / 2**num_counting
+        assert estimated == pytest.approx(0.25, abs=1 / 2**num_counting)
+
+    def test_draper_adder_adds_in_place(self):
+        circuit = draper_adder(2)
+        # a = 1 (qubits 0..1 big-endian: a holds value 1 -> bits "01"), b = 2 -> "10"
+        state = circuit.statevector(_basis_state(circuit, "0110"))
+        outcome = format(int(np.argmax(np.abs(state) ** 2)), "04b")
+        # b register (last two bits) should hold (a + b) mod 4 = 3 -> "11"
+        assert outcome[2:] == "11"
+
+    def test_vbe_adder_semantics_preserved_under_lowering(self):
+        circuit = vbe_adder(2)
+        lowered = decompose_to_gate_set(circuit, CLIFFORD_T)
+        assert circuit_distance(circuit, lowered) < 1e-5
+
+    def test_hidden_shift_needs_even_qubits(self):
+        with pytest.raises(ValueError):
+            hidden_shift(5)
+
+    def test_random_generators_are_deterministic(self):
+        assert random_clifford_t(4, 30, seed=3) == random_clifford_t(4, 30, seed=3)
+        assert random_parameterized(4, 30, seed=3) == random_parameterized(4, 30, seed=3)
+
+    def test_qaoa_and_vqe_shapes(self):
+        qaoa = qaoa_maxcut(6, layers=2, seed=1)
+        assert qaoa.count("rzz") > 0 and qaoa.count("rx") == 12
+        vqe = vqe_ansatz(4, depth=2, seed=1)
+        assert vqe.count("cx") == 6
+
+    def test_ising_layers(self):
+        circuit = ising_trotter(4, steps=2)
+        assert circuit.count("rzz") == 6
+        assert circuit.count("rx") == 8
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: qft(0),
+            lambda: ghz(0),
+            lambda: toffoli_chain(0),
+            lambda: barenco_toffoli(1),
+            lambda: ripple_carry_adder(0),
+            lambda: grover(1),
+            lambda: qaoa_maxcut(2),
+            lambda: ising_trotter(1),
+        ],
+    )
+    def test_invalid_sizes_raise(self, builder):
+        with pytest.raises(ValueError):
+            builder()
+
+
+class TestSuiteAssembly:
+    def test_suites_have_unique_names(self):
+        for suite in (nisq_suite("tiny"), ftqc_suite("tiny")):
+            names = [case.name for case in suite]
+            assert len(names) == len(set(names))
+
+    def test_scales_are_ordered_by_size(self):
+        assert len(nisq_suite("tiny")) < len(nisq_suite("small"))
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            nisq_suite("gigantic")
+
+    @pytest.mark.parametrize("gate_set_name", sorted(ALL_GATE_SETS))
+    def test_lowered_suite_stays_in_gate_set(self, gate_set_name):
+        gate_set = ALL_GATE_SETS[gate_set_name]
+        for case in lowered_suite(gate_set, "tiny"):
+            assert gate_set.contains_circuit(case.circuit), case.name
+
+    def test_ftqc_suite_is_clifford_t_expressible(self):
+        for case in ftqc_suite("tiny"):
+            lowered = decompose_to_gate_set(case.circuit, CLIFFORD_T)
+            assert CLIFFORD_T.contains_circuit(lowered)
+
+
+class TestNoiseModels:
+    def test_two_qubit_errors_dominate(self):
+        from repro.circuits import instruction
+
+        one_q = IBM_WASHINGTON_LIKE.gate_error(instruction("x", [0]))
+        two_q = IBM_WASHINGTON_LIKE.gate_error(instruction("cx", [0, 1]))
+        assert two_q > 10 * one_q
+
+    def test_fidelity_decreases_with_more_gates(self):
+        small = Circuit(2).cx(0, 1)
+        big = Circuit(2).cx(0, 1).cx(0, 1).cx(0, 1)
+        assert IBM_WASHINGTON_LIKE.circuit_fidelity(big) < IBM_WASHINGTON_LIKE.circuit_fidelity(small)
+
+    def test_fidelity_in_unit_interval(self):
+        circuit = Circuit(3).h(0).cx(0, 1).ccx(0, 1, 2)
+        for device in (IBM_WASHINGTON_LIKE, IONQ_FORTE_LIKE, FTQC_LOGICAL):
+            fidelity = device.circuit_fidelity(circuit)
+            assert 0.0 < fidelity <= 1.0
+
+    def test_jitter_is_deterministic(self):
+        from repro.circuits import instruction
+
+        inst = instruction("cx", [3, 5])
+        assert IBM_WASHINGTON_LIKE.gate_error(inst) == IBM_WASHINGTON_LIKE.gate_error(inst)
+
+    def test_device_for_gate_set(self):
+        assert device_for_gate_set("ibm-eagle") is IBM_WASHINGTON_LIKE
+        assert device_for_gate_set("ionq") is IONQ_FORTE_LIKE
+        assert device_for_gate_set("clifford+t") is FTQC_LOGICAL
+        with pytest.raises(KeyError):
+            device_for_gate_set("abacus")

@@ -1,0 +1,138 @@
+"""Tests for numerical template synthesis, Clifford+T search, and resynth wrappers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, circuit_distance
+from repro.gatesets import CLIFFORD_T, IBM_EAGLE, IBMQ20, IONQ, decompose_to_gate_set
+from repro.synthesis import (
+    CliffordTResynthesizer,
+    CliffordTSynthesizer,
+    EXACT_DISTANCE_FLOOR,
+    NumericalResynthesizer,
+    TemplateSynthesizer,
+)
+from repro.utils.linalg import hilbert_schmidt_distance
+
+EPS = 1e-6
+
+
+class TestTemplateSynthesizer:
+    def test_one_qubit_target(self):
+        target = Circuit(1).h(0).t(0).unitary()
+        result = TemplateSynthesizer(rng=0).synthesize(target)
+        assert result is not None
+        assert result.cx_count == 0
+        assert hilbert_schmidt_distance(target, result.circuit.unitary()) < EPS
+
+    def test_two_qubit_identity_needs_no_cx(self):
+        target = np.eye(4)
+        result = TemplateSynthesizer(rng=1).synthesize(target)
+        assert result is not None
+        assert result.circuit.two_qubit_count() == 0
+
+    def test_bell_type_unitary_one_cx(self):
+        target = Circuit(2).h(0).cx(0, 1).unitary()
+        result = TemplateSynthesizer(rng=2).synthesize(target)
+        assert result is not None
+        assert result.circuit.two_qubit_count() <= 1
+        assert hilbert_schmidt_distance(target, result.circuit.unitary()) < EPS
+
+    def test_deep_diagonal_two_qubit_block(self):
+        block = Circuit(2)
+        for _ in range(3):
+            block.rz(math.pi / 4, 0).cx(0, 1).rz(-math.pi / 4, 1).cx(0, 1)
+        result = TemplateSynthesizer(rng=3).synthesize(block.unitary())
+        assert result is not None
+        assert result.circuit.two_qubit_count() < block.two_qubit_count()
+        assert hilbert_schmidt_distance(block.unitary(), result.circuit.unitary()) < EPS
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            TemplateSynthesizer().synthesize(np.eye(3))
+        with pytest.raises(ValueError):
+            TemplateSynthesizer().synthesize(np.eye(16))
+
+    def test_respects_epsilon_contract(self):
+        # A random 3-qubit unitary is almost never synthesizable with zero
+        # layers; with max_layers=0 the synthesizer must admit failure.
+        from scipy.stats import unitary_group
+
+        target = unitary_group.rvs(8, random_state=11)
+        result = TemplateSynthesizer(max_layers=0, rng=4).synthesize(target)
+        assert result is None
+
+
+class TestCliffordTSynthesizer:
+    def test_identity(self):
+        circuit = CliffordTSynthesizer(rng=0).synthesize(np.eye(2))
+        assert circuit is not None and circuit.size() == 0
+
+    def test_simple_one_qubit(self):
+        target = Circuit(1).t(0).t(0).unitary()  # = S
+        circuit = CliffordTSynthesizer(rng=1).synthesize(target)
+        assert circuit is not None
+        assert hilbert_schmidt_distance(target, circuit.unitary()) < 1e-6
+        assert circuit.size() <= 2
+
+    def test_two_qubit_cx_conjugation(self):
+        target = Circuit(2).cx(0, 1).t(1).cx(0, 1).unitary()
+        circuit = CliffordTSynthesizer(rng=2).synthesize(target)
+        assert circuit is not None
+        assert hilbert_schmidt_distance(target, circuit.unitary()) < 1e-6
+
+    def test_output_is_clifford_t(self):
+        target = Circuit(2).h(0).cx(0, 1).s(1).unitary()
+        circuit = CliffordTSynthesizer(rng=3).synthesize(target)
+        assert circuit is not None
+        assert CLIFFORD_T.contains_circuit(circuit)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            CliffordTSynthesizer().synthesize(np.eye(3))
+
+
+class TestNumericalResynthesizer:
+    def test_requires_parameterized_gate_set(self):
+        with pytest.raises(ValueError):
+            NumericalResynthesizer(CLIFFORD_T)
+
+    @pytest.mark.parametrize("gate_set", [IBM_EAGLE, IBMQ20, IONQ])
+    def test_output_stays_in_gate_set(self, gate_set):
+        block = decompose_to_gate_set(Circuit(2).h(0).cx(0, 1).rz(0.3, 1).cx(0, 1), gate_set)
+        outcome = NumericalResynthesizer(gate_set, rng=0).resynthesize(block)
+        assert outcome is not None
+        assert gate_set.contains_circuit(outcome.circuit)
+        assert circuit_distance(block, outcome.circuit) < EPS
+
+    def test_charged_epsilon_zero_for_exact(self):
+        block = decompose_to_gate_set(Circuit(2).cx(0, 1).cx(0, 1), IBM_EAGLE)
+        outcome = NumericalResynthesizer(IBM_EAGLE, rng=1).resynthesize(block)
+        assert outcome is not None
+        assert outcome.distance <= EXACT_DISTANCE_FLOOR
+        assert outcome.charged_epsilon == 0.0
+
+    def test_empty_block_returns_none(self):
+        assert NumericalResynthesizer(IBM_EAGLE, rng=2).resynthesize(Circuit(2)) is None
+
+    def test_too_wide_block_returns_none(self):
+        block = Circuit(4).cx(0, 1).cx(2, 3)
+        assert NumericalResynthesizer(IBM_EAGLE, rng=3).resynthesize(block) is None
+
+
+class TestCliffordTResynthesizer:
+    def test_reduces_redundant_block(self):
+        block = Circuit(2).t(0).t(0).h(1).h(1).cx(0, 1).cx(0, 1)
+        outcome = CliffordTResynthesizer(rng=0).resynthesize(block)
+        assert outcome is not None
+        assert outcome.circuit.size() < block.size()
+        assert circuit_distance(block, outcome.circuit) < 1e-6
+        assert CLIFFORD_T.contains_circuit(outcome.circuit)
+
+    def test_charged_epsilon_zero_for_exact(self):
+        block = Circuit(1).t(0).t(0)
+        outcome = CliffordTResynthesizer(rng=1).resynthesize(block)
+        assert outcome is not None
+        assert outcome.charged_epsilon == 0.0
