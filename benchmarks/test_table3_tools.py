@@ -16,6 +16,7 @@ _APPROACH = {
     "quarl": "heuristic scheduling of rewrite rules (RL stand-in)",
     "pyzx": "phase-polynomial / ZX-style T reduction",
     "synthetiq-partition": "partition + finite-gate-set synthesis",
+    "guoq-portfolio": "parallel GUOQ portfolio with incumbent exchange",
 }
 
 

@@ -1,0 +1,52 @@
+"""Parallel portfolio search: N GUOQ workers with incumbent exchange.
+
+Fans a circuit out to four workers — the anchor (base configuration), a pure
+restart, and exploratory/resynthesis-heavy variants — advances them in
+exchange rounds, and prints the merged anytime trace alongside each worker's
+contribution.  Compare with ``examples/anytime_trace.py``: the portfolio's
+merged curve is the lower envelope of its workers' curves.
+
+Run with::
+
+    python examples/portfolio.py
+"""
+
+from repro import decompose_to_gate_set, get_gate_set, optimize_circuit_portfolio
+from repro.suite import qft
+
+
+def main() -> None:
+    gate_set = get_gate_set("ibmq20")
+    circuit = decompose_to_gate_set(qft(6), gate_set)
+    print(f"qft_6 on {gate_set.name}: {circuit.size()} gates, {circuit.two_qubit_count()} two-qubit\n")
+
+    result = optimize_circuit_portfolio(
+        circuit,
+        gate_set,
+        objective="nisq",
+        time_limit=15.0,
+        seed=0,
+        num_workers=4,
+        exchange_interval=250,
+        synthesis_time_budget=1.0,
+    )
+
+    print(f"backend: {result.backend}, {result.rounds} exchange rounds, "
+          f"{result.total_iterations} total iterations\n")
+    print("merged anytime trace (portfolio incumbent):")
+    for point in result.history:
+        print(f"  t={point.elapsed:6.2f}s  cost={point.cost:8.2f}  "
+              f"2q={point.two_qubit_count:4d}  total={point.total_count:4d}")
+
+    print("\nper-worker results:")
+    for index, (label, worker) in enumerate(zip(result.worker_labels, result.worker_results)):
+        marker = " <- best" if index == result.best_worker else ""
+        print(f"  worker {index} [{label:>14}]: best={worker.best_cost:8.2f}  "
+              f"iterations={worker.iterations}{marker}")
+
+    print(f"\nportfolio best: {result.best_circuit.two_qubit_count()} two-qubit gates "
+          f"(from {circuit.two_qubit_count()}), error bound {result.error_bound:g}")
+
+
+if __name__ == "__main__":
+    main()

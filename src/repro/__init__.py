@@ -28,6 +28,7 @@ from repro.core import (
     GuoqConfig,
     GuoqOptimizer,
     GuoqResult,
+    GuoqRun,
     NegativeLogFidelity,
     TCount,
     TwoQubitGateCount,
@@ -43,6 +44,12 @@ from repro.gatesets import (
     get_gate_set,
 )
 from repro.noise import DeviceModel, device_for_gate_set
+from repro.parallel import (
+    PortfolioConfig,
+    PortfolioOptimizer,
+    PortfolioResult,
+    optimize_circuit_portfolio,
+)
 
 __version__ = "1.0.0"
 
@@ -53,8 +60,12 @@ __all__ = [
     "GuoqConfig",
     "GuoqOptimizer",
     "GuoqResult",
+    "GuoqRun",
     "Instruction",
     "NegativeLogFidelity",
+    "PortfolioConfig",
+    "PortfolioOptimizer",
+    "PortfolioResult",
     "TCount",
     "TwoQubitGateCount",
     "WeightedGateCount",
@@ -68,5 +79,6 @@ __all__ = [
     "get_gate_set",
     "guoq",
     "optimize_circuit",
+    "optimize_circuit_portfolio",
     "__version__",
 ]

@@ -41,7 +41,8 @@ def make_baseline(
     """Build the stand-in optimizer for one of the paper's comparison tools.
 
     Recognised tool names: ``qiskit``, ``tket``, ``voqc``, ``bqskit``,
-    ``queso``, ``quartz``, ``quarl``, ``pyzx``, ``synthetiq-partition``.
+    ``queso``, ``quartz``, ``quarl``, ``pyzx``, ``synthetiq-partition``,
+    ``guoq-portfolio``.
     """
     if isinstance(gate_set, str):
         gate_set = get_gate_set(gate_set)
@@ -71,6 +72,14 @@ def make_baseline(
         )
     if key == "pyzx":
         return PhasePolynomialOptimizer()
+    if key == "guoq-portfolio":
+        # Imported lazily: repro.parallel.portfolio subclasses BaselineOptimizer,
+        # so a module-level import here would be circular.
+        from repro.parallel.portfolio import PortfolioBaseline
+
+        return PortfolioBaseline(
+            gate_set, cost=cost, time_limit=time_limit, epsilon=epsilon, seed=seed
+        )
     raise KeyError(f"unknown tool {tool!r}")
 
 
@@ -84,4 +93,5 @@ AVAILABLE_TOOLS = (
     "quarl",
     "pyzx",
     "synthetiq-partition",
+    "guoq-portfolio",
 )

@@ -4,6 +4,8 @@ from repro.core.guoq import (
     GuoqConfig,
     GuoqOptimizer,
     GuoqResult,
+    GuoqRun,
+    GuoqSearchState,
     SearchHistoryPoint,
     guoq,
 )
@@ -37,6 +39,8 @@ __all__ = [
     "GuoqConfig",
     "GuoqOptimizer",
     "GuoqResult",
+    "GuoqRun",
+    "GuoqSearchState",
     "NegativeLogFidelity",
     "ResynthesisTransformation",
     "RewriteTransformation",

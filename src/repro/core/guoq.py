@@ -13,6 +13,19 @@ GUOQ maintains a single candidate circuit and repeatedly
 The best circuit seen so far is tracked and returned, so the algorithm is an
 anytime optimizer — interrupting it at the time limit yields a valid result
 whose total error is bounded by the accumulated epsilons (Theorems 4.2/5.3).
+
+The search is exposed at two granularities:
+
+* :meth:`GuoqOptimizer.optimize` — the blocking loop of Algorithm 1, exactly
+  as in the paper;
+* :meth:`GuoqOptimizer.start` — a resumable :class:`GuoqRun` engine that an
+  external driver steps with :meth:`GuoqRun.step` and inspects with
+  :meth:`GuoqRun.snapshot` at any point.  ``optimize`` is implemented on top
+  of the engine and a seeded, iteration-bounded run is bit-identical between
+  the two (see ``tests/test_guoq_regression.py``).  The step-wise form is what
+  makes portfolio/parallel drivers (:mod:`repro.parallel`) possible: a run can
+  be paused, shipped across a process boundary, given a better incumbent, and
+  resumed without losing the anytime/history semantics.
 """
 
 from __future__ import annotations
@@ -31,6 +44,11 @@ from repro.core.transformations import (
     Transformation,
 )
 from repro.utils.rng import ensure_rng
+
+#: iterations per engine step used by the blocking ``optimize`` wrapper; the
+#: time limit is re-checked every iteration, so the chunk size does not affect
+#: semantics.
+_OPTIMIZE_CHUNK = 256
 
 
 @dataclass
@@ -87,6 +105,249 @@ class GuoqResult:
         return 1.0 - self.best_cost / self.initial_cost
 
 
+@dataclass(frozen=True)
+class GuoqSearchState:
+    """Lightweight snapshot of an in-flight run (no circuits attached)."""
+
+    iteration: int
+    elapsed: float
+    best_cost: float
+    current_cost: float
+    initial_cost: float
+    error_bound: float
+    error_current: float
+    accepted: int
+    rejected: int
+    skipped_budget: int
+    done: bool
+
+
+class GuoqRun:
+    """A resumable GUOQ search: the loop body of Algorithm 1, externally driven.
+
+    Obtained from :meth:`GuoqOptimizer.start`.  Drivers call :meth:`step` to
+    advance the search by a bounded number of iterations and may interleave
+    :meth:`snapshot` (anytime result), :meth:`inject_incumbent` (portfolio
+    best-state exchange), or pickling (the run carries no open resources, so
+    it can cross a process boundary between steps).
+
+    Wall-clock accounting only accumulates while the run is actively stepping,
+    so a paused run does not burn its time budget.
+    """
+
+    def __init__(self, optimizer: "GuoqOptimizer", circuit: Circuit) -> None:
+        self._optimizer = optimizer
+        self._config = optimizer.config
+        self._rng = ensure_rng(optimizer.config.seed)
+        self._current = circuit
+        self._best = circuit
+        self._cost_current = optimizer.cost(circuit)
+        self._cost_best = self._cost_current
+        self._initial_cost = self._cost_current
+        self._error_current = 0.0
+        self._error_best = 0.0
+        self._iterations = 0
+        self._accepted = 0
+        self._rejected = 0
+        self._skipped = 0
+        self._elapsed = 0.0
+        self._done = False
+        self._history: list[SearchHistoryPoint] = []
+        self._applications: dict[str, int] = {}
+        if self._config.track_history:
+            self._history.append(_history_point(0.0, 0, self._cost_best, self._best))
+
+    # -- driving ------------------------------------------------------------
+
+    def step(self, iterations: int = 1) -> bool:
+        """Advance by up to ``iterations`` loop iterations.
+
+        Returns ``True`` while the run can continue, ``False`` once a limit
+        (time or iteration) has been reached.  The time limit is re-checked on
+        every iteration, exactly like the blocking loop.
+        """
+        if self._done:
+            return False
+        config = self._config
+        optimizer = self._optimizer
+        rng = self._rng
+        base = self._elapsed
+        resume = time.monotonic()
+        try:
+            for _ in range(iterations):
+                if base + (time.monotonic() - resume) >= config.time_limit:
+                    self._done = True
+                    break
+                if (
+                    config.max_iterations is not None
+                    and self._iterations >= config.max_iterations
+                ):
+                    self._done = True
+                    break
+                self._iterations += 1
+
+                transformation = optimizer._sample_transformation(rng)
+                if self._error_current + transformation.epsilon > config.epsilon_budget:
+                    self._skipped += 1
+                    continue
+                result = transformation.apply(self._current, rng)
+                if result is None:
+                    continue
+
+                cost_candidate = optimizer.cost(result.circuit)
+                accept = cost_candidate <= self._cost_current
+                if not accept and self._cost_current > 0:
+                    probability = math.exp(
+                        -config.temperature * cost_candidate / self._cost_current
+                    )
+                    accept = rng.random() < probability
+                if not accept:
+                    self._rejected += 1
+                    continue
+
+                self._accepted += 1
+                self._applications[transformation.name] = (
+                    self._applications.get(transformation.name, 0) + 1
+                )
+                self._current = result.circuit
+                self._cost_current = cost_candidate
+                self._error_current += result.charged_epsilon
+
+                if self._cost_current < self._cost_best:
+                    self._best = self._current
+                    self._cost_best = self._cost_current
+                    self._error_best = self._error_current
+                    if config.track_history:
+                        self._history.append(
+                            _history_point(
+                                base + (time.monotonic() - resume),
+                                self._iterations,
+                                self._cost_best,
+                                self._best,
+                            )
+                        )
+        finally:
+            self._elapsed = base + (time.monotonic() - resume)
+        return not self._done
+
+    def inject_incumbent(
+        self, circuit: Circuit, cost: "float | None" = None, error: float = 0.0
+    ) -> bool:
+        """Adopt an externally found incumbent as the current candidate.
+
+        Used by portfolio drivers to exchange best states between workers:
+        ``error`` must be the incumbent's accumulated approximation error so
+        the epsilon-budget accounting (Theorem 4.2) stays sound.  Returns
+        ``True`` when the incumbent strictly improved this run's best.
+        """
+        if cost is None:
+            cost = self._optimizer.cost(circuit)
+        self._current = circuit
+        self._cost_current = cost
+        self._error_current = error
+        if cost < self._cost_best:
+            self._best = circuit
+            self._cost_best = cost
+            self._error_best = error
+            if self._config.track_history:
+                self._history.append(
+                    _history_point(self._elapsed, self._iterations, cost, circuit)
+                )
+            return True
+        return False
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def iterations(self) -> int:
+        return self._iterations
+
+    @property
+    def elapsed(self) -> float:
+        """Active search time accumulated so far (pauses excluded)."""
+        return self._elapsed
+
+    @property
+    def best_circuit(self) -> Circuit:
+        return self._best
+
+    @property
+    def best_cost(self) -> float:
+        return self._cost_best
+
+    @property
+    def current_circuit(self) -> Circuit:
+        return self._current
+
+    @property
+    def current_cost(self) -> float:
+        return self._cost_current
+
+    @property
+    def error_bound(self) -> float:
+        """Accumulated epsilon of the best circuit."""
+        return self._error_best
+
+    @property
+    def error_current(self) -> float:
+        """Accumulated epsilon of the current candidate."""
+        return self._error_current
+
+    @property
+    def history(self) -> list[SearchHistoryPoint]:
+        return list(self._history)
+
+    def state(self) -> GuoqSearchState:
+        """Scalar snapshot of the run, cheap enough to ship every round."""
+        return GuoqSearchState(
+            iteration=self._iterations,
+            elapsed=self._elapsed,
+            best_cost=self._cost_best,
+            current_cost=self._cost_current,
+            initial_cost=self._initial_cost,
+            error_bound=self._error_best,
+            error_current=self._error_current,
+            accepted=self._accepted,
+            rejected=self._rejected,
+            skipped_budget=self._skipped,
+            done=self._done,
+        )
+
+    def snapshot(self) -> GuoqResult:
+        """Anytime result: valid whether or not the run has finished."""
+        return GuoqResult(
+            best_circuit=self._best,
+            best_cost=self._cost_best,
+            initial_cost=self._initial_cost,
+            error_bound=self._error_best,
+            iterations=self._iterations,
+            elapsed=self._elapsed,
+            accepted=self._accepted,
+            rejected=self._rejected,
+            skipped_budget=self._skipped,
+            history=list(self._history),
+            applications_by_transformation=dict(self._applications),
+        )
+
+    result = snapshot
+
+
+def _history_point(
+    elapsed: float, iteration: int, cost: float, circuit: Circuit
+) -> SearchHistoryPoint:
+    return SearchHistoryPoint(
+        elapsed=elapsed,
+        iteration=iteration,
+        cost=cost,
+        two_qubit_count=circuit.two_qubit_count(),
+        total_count=circuit.size(),
+    )
+
+
 class GuoqOptimizer:
     """Reusable GUOQ driver bound to a transformation set and cost function."""
 
@@ -119,95 +380,22 @@ class GuoqOptimizer:
 
     # -- main loop (Algorithm 1) ---------------------------------------------
 
+    def start(self, circuit: Circuit) -> GuoqRun:
+        """Begin a resumable search on ``circuit`` without running it."""
+        return GuoqRun(self, circuit)
+
     def optimize(self, circuit: Circuit) -> GuoqResult:
         """Run the search on ``circuit`` until the time/iteration limit."""
-        config = self.config
-        rng = ensure_rng(config.seed)
-        start = time.monotonic()
-
-        current = circuit
-        best = circuit
-        cost_current = self.cost(circuit)
-        cost_best = cost_current
-        initial_cost = cost_current
-        error_current = 0.0
-        error_best = 0.0
-
-        iterations = accepted = rejected = skipped = 0
-        history: list[SearchHistoryPoint] = []
-        applications: dict[str, int] = {}
-        if config.track_history:
-            history.append(self._history_point(0.0, 0, cost_best, best))
-
-        while True:
-            elapsed = time.monotonic() - start
-            if elapsed >= config.time_limit:
-                break
-            if config.max_iterations is not None and iterations >= config.max_iterations:
-                break
-            iterations += 1
-
-            transformation = self._sample_transformation(rng)
-            if error_current + transformation.epsilon > config.epsilon_budget:
-                skipped += 1
-                continue
-            result = transformation.apply(current, rng)
-            if result is None:
-                continue
-
-            cost_candidate = self.cost(result.circuit)
-            accept = cost_candidate <= cost_current
-            if not accept and cost_current > 0:
-                probability = math.exp(
-                    -config.temperature * cost_candidate / cost_current
-                )
-                accept = rng.random() < probability
-            if not accept:
-                rejected += 1
-                continue
-
-            accepted += 1
-            applications[transformation.name] = applications.get(transformation.name, 0) + 1
-            current = result.circuit
-            cost_current = cost_candidate
-            error_current += result.charged_epsilon
-
-            if cost_current < cost_best:
-                best = current
-                cost_best = cost_current
-                error_best = error_current
-                if config.track_history:
-                    history.append(
-                        self._history_point(
-                            time.monotonic() - start, iterations, cost_best, best
-                        )
-                    )
-
-        return GuoqResult(
-            best_circuit=best,
-            best_cost=cost_best,
-            initial_cost=initial_cost,
-            error_bound=error_best,
-            iterations=iterations,
-            elapsed=time.monotonic() - start,
-            accepted=accepted,
-            rejected=rejected,
-            skipped_budget=skipped,
-            history=history,
-            applications_by_transformation=applications,
-        )
+        run = self.start(circuit)
+        while run.step(_OPTIMIZE_CHUNK):
+            pass
+        return run.result()
 
     @staticmethod
     def _history_point(
         elapsed: float, iteration: int, cost: float, circuit: Circuit
     ) -> SearchHistoryPoint:
-        return SearchHistoryPoint(
-            elapsed=elapsed,
-            iteration=iteration,
-            cost=cost,
-            two_qubit_count=circuit.two_qubit_count(),
-            total_count=circuit.size(),
-        )
+        return _history_point(elapsed, iteration, cost, circuit)
 
 
 def guoq(

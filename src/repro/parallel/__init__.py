@@ -1,0 +1,29 @@
+"""Parallel portfolio search on top of the step-wise GUOQ engine.
+
+See ``README.md`` ("Step-wise engine and parallel portfolio") for the
+architecture: seed derivation, the exchange protocol, backends, and how to
+add a new portfolio variant.
+"""
+
+from repro.parallel.backends import BACKENDS, RoundExecutor
+from repro.parallel.portfolio import (
+    PortfolioBaseline,
+    PortfolioConfig,
+    PortfolioOptimizer,
+    PortfolioResult,
+    optimize_circuit_portfolio,
+)
+from repro.parallel.variants import VariantSpec, assign_variants, default_variants
+
+__all__ = [
+    "BACKENDS",
+    "PortfolioBaseline",
+    "PortfolioConfig",
+    "PortfolioOptimizer",
+    "PortfolioResult",
+    "RoundExecutor",
+    "VariantSpec",
+    "assign_variants",
+    "default_variants",
+    "optimize_circuit_portfolio",
+]

@@ -1,0 +1,108 @@
+"""Execution backends for stepping a set of GUOQ engines round by round.
+
+The portfolio advances all workers by one *exchange round* (a fixed iteration
+quantum) at a time.  Because every :class:`~repro.core.guoq.GuoqRun` owns its
+rng and transformation copies, the result of a round is independent of how the
+engines are scheduled — so the three backends are interchangeable and a fixed
+root seed produces the same merged result on any of them:
+
+* ``processes`` — one task per worker in a ``ProcessPoolExecutor``; engines
+  are pickled to the child, stepped there, and the evolved engine is shipped
+  back.  True parallelism; requires every transformation/cost to be picklable.
+* ``threads`` — a ``ThreadPoolExecutor`` stepping the engines in place.  GIL
+  bound, but needs no pickling; the fallback when processes are unavailable
+  (unpicklable costs, restricted platforms, daemonic parents).
+* ``serial`` — a plain loop, mainly for debugging and tiny runs.
+
+``auto`` tries ``processes`` first and silently degrades to ``threads`` on
+the first failure, re-running the failed round so no work is lost.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.core.guoq import GuoqRun
+
+BACKENDS = ("auto", "processes", "threads", "serial")
+
+
+def _step_engine(payload: "tuple[GuoqRun, int]") -> GuoqRun:
+    """Advance one engine by a round's worth of iterations (child-side)."""
+    engine, iterations = payload
+    engine.step(iterations)
+    return engine
+
+
+class RoundExecutor:
+    """Steps a list of engines one exchange round at a time.
+
+    The executor owns at most one worker pool; ``close`` must be called (or
+    the instance used as a context manager) when the portfolio is done.
+    """
+
+    def __init__(self, backend: str = "auto", max_workers: "int | None" = None) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        self.requested_backend = backend
+        self.backend = "processes" if backend == "auto" else backend
+        self._allow_fallback = backend == "auto"
+        self.max_workers = max_workers
+        self._pool: "ProcessPoolExecutor | ThreadPoolExecutor | None" = None
+
+    # -- pool management ----------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self.backend == "processes":
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+                )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers, mp_context=context
+                )
+            elif self.backend == "threads":
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "RoundExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- round execution ----------------------------------------------------
+
+    def run_round(self, engines: "list[GuoqRun]", iterations: int) -> "list[GuoqRun]":
+        """Step every engine by ``iterations``; returns the evolved engines.
+
+        With the process backend the returned objects are *new* engine
+        instances (pickle round-trip); callers must use the return value, not
+        the argument list.
+        """
+        if self.backend == "serial":
+            for engine in engines:
+                engine.step(iterations)
+            return engines
+        if self.backend == "processes":
+            try:
+                pool = self._ensure_pool()
+                return list(pool.map(_step_engine, [(e, iterations) for e in engines]))
+            except Exception:
+                if not self._allow_fallback:
+                    raise
+                # Unpicklable engine, broken pool, or a platform without
+                # usable subprocesses: degrade to threads and redo the round.
+                # The engines were only mutated child-side, so the parent
+                # copies are still at the pre-round state and no work is lost.
+                self.close()
+                self.backend = "threads"
+        pool = self._ensure_pool()
+        list(pool.map(lambda engine: engine.step(iterations), engines))
+        return engines

@@ -1,0 +1,327 @@
+"""Parallel portfolio search: many GUOQ workers, one merged anytime result.
+
+Algorithm 1 is an anytime optimizer whose quality scales with wall-clock
+budget, which makes it embarrassingly parallel across restarts and
+configurations.  :class:`PortfolioOptimizer` fans a circuit out to ``N``
+step-wise engines (:meth:`repro.core.guoq.GuoqOptimizer.start`), each with a
+deterministically derived seed and a configuration variant, advances them in
+fixed-iteration *exchange rounds* on a pluggable backend (processes, threads,
+or serial — see :mod:`repro.parallel.backends`), and periodically shares the
+best incumbent so stragglers restart from the portfolio's best state.
+
+Design invariants:
+
+* **Determinism** — the merged result is a pure function of the root seed
+  (plus worker count and variant cycle) when the run is iteration-bounded;
+  the backend only affects wall-clock, never the outcome.
+* **Anchoring** — worker 0 runs the unmodified base configuration under the
+  root seed and never adopts incumbents.  On an iteration-bounded budget
+  (``max_iterations``) its trajectory is bit-identical to the solo
+  ``GuoqOptimizer`` run, so the portfolio is provably never worse than solo.
+  Under a pure wall-clock budget the anchor competes for the same cores as
+  its siblings (especially on the GIL-bound threads backend), so it may see
+  fewer iterations than a solo run given the same wall time — the guarantee
+  there is best-effort, not exact.
+* **Soundness** — incumbents travel with their accumulated epsilon, so every
+  worker's error accounting (Theorem 4.2) remains a valid bound and the
+  merged ``error_bound`` is the incumbent's true accumulated error.
+* **Objective firewall** — workers may search under surrogate costs
+  (:class:`~repro.parallel.variants.VariantSpec`), but ranking and exchange
+  always use the portfolio's own objective.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.base import BaselineOptimizer
+from repro.circuits.circuit import Circuit
+from repro.core.guoq import (
+    GuoqConfig,
+    GuoqOptimizer,
+    GuoqResult,
+    SearchHistoryPoint,
+    _history_point,
+)
+from repro.core.objectives import CostFunction, TwoQubitGateCount
+from repro.core.transformations import Transformation
+from repro.parallel.backends import BACKENDS, RoundExecutor
+from repro.parallel.variants import VariantSpec, assign_variants
+from repro.utils.rng import spawn_seeds
+
+
+@dataclass
+class PortfolioConfig:
+    """Portfolio-level knobs on top of a base :class:`GuoqConfig`.
+
+    ``search`` is the base worker configuration; its ``seed`` is the root
+    seed from which every worker seed is derived, its ``time_limit`` is the
+    wall-clock budget of the whole portfolio, and its ``max_iterations`` is
+    the per-worker iteration budget.
+    """
+
+    search: GuoqConfig = field(default_factory=GuoqConfig)
+    num_workers: int = 4
+    exchange_interval: int = 250
+    backend: str = "auto"
+    share_incumbent: bool = True
+    anchor_worker: bool = True
+    variants: "tuple[VariantSpec, ...] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if self.exchange_interval < 1:
+            raise ValueError("exchange_interval must be at least 1")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+
+
+@dataclass
+class PortfolioResult:
+    """Merged outcome of a portfolio run."""
+
+    best_circuit: Circuit
+    best_cost: float
+    initial_cost: float
+    error_bound: float
+    best_worker: "int | None"
+    num_workers: int
+    backend: str
+    rounds: int
+    total_iterations: int
+    elapsed: float
+    #: merged anytime history: the portfolio-wide incumbent envelope, with
+    #: ``iteration`` counting total iterations across all workers
+    history: list[SearchHistoryPoint] = field(default_factory=list)
+    #: portfolio best cost after each exchange round (non-increasing)
+    incumbent_trace: list[float] = field(default_factory=list)
+    worker_results: list[GuoqResult] = field(default_factory=list)
+    worker_labels: list[str] = field(default_factory=list)
+    worker_seeds: "list[int | None]" = field(default_factory=list)
+
+    @property
+    def cost_reduction(self) -> float:
+        """Relative reduction of the objective, ``1 - best/initial``."""
+        if self.initial_cost == 0:
+            return 0.0
+        return 1.0 - self.best_cost / self.initial_cost
+
+
+class PortfolioOptimizer:
+    """Drive ``N`` GUOQ workers with periodic best-incumbent exchange."""
+
+    def __init__(
+        self,
+        transformations: list[Transformation],
+        cost: "CostFunction | None" = None,
+        config: "PortfolioConfig | None" = None,
+    ) -> None:
+        if not transformations:
+            raise ValueError("a portfolio needs at least one transformation")
+        self.transformations = list(transformations)
+        self.cost = cost if cost is not None else TwoQubitGateCount()
+        self.config = config if config is not None else PortfolioConfig()
+
+    # -- worker construction -------------------------------------------------
+
+    def _build_engines(self, circuit: Circuit):
+        config = self.config
+        base = config.search
+        variants = assign_variants(config.num_workers, config.variants, config.anchor_worker)
+        seeds: "list[int | None]" = list(spawn_seeds(base.seed, config.num_workers))
+        if config.anchor_worker:
+            # The anchor reproduces the single-worker run exactly, which is
+            # what guarantees portfolio >= solo on the same seed and
+            # iteration budget (see the anchoring note in the module
+            # docstring for the wall-clock caveat).
+            seeds[0] = base.seed
+        engines = []
+        for variant, seed in zip(variants, seeds):
+            worker_config = variant.configure(base, seed)
+            # Each worker owns private copies of the transformations and the
+            # cost so stateful members (resynthesizer rngs, caches) are never
+            # shared across threads and every backend sees the same streams.
+            worker_transformations = copy.deepcopy(self.transformations)
+            worker_cost = (
+                variant.cost if variant.cost is not None else copy.deepcopy(self.cost)
+            )
+            optimizer = GuoqOptimizer(
+                worker_transformations, cost=worker_cost, config=worker_config
+            )
+            engines.append(optimizer.start(circuit))
+        labels = [variant.label for variant in variants]
+        return engines, labels, seeds
+
+    # -- main loop ------------------------------------------------------------
+
+    def optimize(self, circuit: Circuit) -> PortfolioResult:
+        """Run the portfolio on ``circuit`` and merge the results."""
+        config = self.config
+        base = config.search
+        engines, labels, seeds = self._build_engines(circuit)
+
+        incumbent_circuit = circuit
+        incumbent_cost = self.cost(circuit)
+        incumbent_error = 0.0
+        initial_cost = incumbent_cost
+        best_worker: "int | None" = None
+        rounds = 0
+        history: list[SearchHistoryPoint] = []
+        incumbent_trace: list[float] = []
+        if base.track_history:
+            history.append(_history_point(0.0, 0, incumbent_cost, circuit))
+
+        start = time.monotonic()
+        # Per-worker cache of (best cost under the worker's own objective,
+        # best cost under the portfolio objective): a worker's own best cost
+        # only changes when its best circuit does, so an unchanged entry means
+        # the portfolio-side re-ranking can be skipped for that worker.
+        ranked: "list[tuple[float, float] | None]" = [None] * len(engines)
+        with RoundExecutor(config.backend, max_workers=config.num_workers) as executor:
+            while any(not engine.done for engine in engines):
+                if time.monotonic() - start >= base.time_limit:
+                    break
+                engines = executor.run_round(engines, config.exchange_interval)
+                rounds += 1
+
+                # Merge: re-rank every worker's best under the portfolio
+                # objective (workers may search under surrogates).  Iteration
+                # order makes ties deterministic (lowest worker index wins).
+                for index, engine in enumerate(engines):
+                    cached = ranked[index]
+                    if cached is not None and cached[0] == engine.best_cost:
+                        candidate_cost = cached[1]
+                    else:
+                        candidate_cost = self.cost(engine.best_circuit)
+                        ranked[index] = (engine.best_cost, candidate_cost)
+                    if candidate_cost < incumbent_cost:
+                        incumbent_circuit = engine.best_circuit
+                        incumbent_cost = candidate_cost
+                        incumbent_error = engine.error_bound
+                        best_worker = index
+                        if base.track_history:
+                            history.append(
+                                _history_point(
+                                    time.monotonic() - start,
+                                    sum(e.iterations for e in engines),
+                                    incumbent_cost,
+                                    incumbent_circuit,
+                                )
+                            )
+                incumbent_trace.append(incumbent_cost)
+
+                # Exchange: behind workers restart from the portfolio's best
+                # state.  The anchor (worker 0) never adopts, preserving its
+                # solo-run trajectory.
+                if config.share_incumbent:
+                    for index, engine in enumerate(engines):
+                        if engine.done or (config.anchor_worker and index == 0):
+                            continue
+                        if self.cost(engine.current_circuit) > incumbent_cost:
+                            engine.inject_incumbent(
+                                incumbent_circuit, error=incumbent_error
+                            )
+            backend_used = executor.backend
+
+        return PortfolioResult(
+            best_circuit=incumbent_circuit,
+            best_cost=incumbent_cost,
+            initial_cost=initial_cost,
+            error_bound=incumbent_error,
+            best_worker=best_worker,
+            num_workers=config.num_workers,
+            backend=backend_used,
+            rounds=rounds,
+            total_iterations=sum(engine.iterations for engine in engines),
+            elapsed=time.monotonic() - start,
+            history=history,
+            incumbent_trace=incumbent_trace,
+            worker_results=[engine.snapshot() for engine in engines],
+            worker_labels=labels,
+            worker_seeds=seeds,
+        )
+
+
+def optimize_circuit_portfolio(
+    circuit: Circuit,
+    gate_set,
+    objective="nisq",
+    epsilon_budget: float = 1e-6,
+    time_limit: float = 10.0,
+    max_iterations: "int | None" = None,
+    seed: "int | None" = None,
+    num_workers: int = 4,
+    exchange_interval: int = 250,
+    backend: str = "auto",
+    include_rewrites: bool = True,
+    include_resynthesis: bool = True,
+    synthesis_time_budget: float = 2.0,
+) -> PortfolioResult:
+    """Portfolio analogue of :func:`repro.core.instantiate.optimize_circuit`."""
+    # Imported here: instantiate pulls in gatesets/noise, which the leaner
+    # portfolio/baseline imports of this module do not need.
+    from repro.core.instantiate import default_objective, default_transformations
+    from repro.gatesets.base import get_gate_set
+
+    if isinstance(gate_set, str):
+        gate_set = get_gate_set(gate_set)
+    if isinstance(objective, str):
+        objective = default_objective(gate_set, objective)
+    transformations = default_transformations(
+        gate_set,
+        epsilon=epsilon_budget,
+        include_rewrites=include_rewrites,
+        include_resynthesis=include_resynthesis,
+        synthesis_time_budget=synthesis_time_budget,
+        rng=seed,
+    )
+    config = PortfolioConfig(
+        search=GuoqConfig(
+            epsilon_budget=epsilon_budget,
+            time_limit=time_limit,
+            max_iterations=max_iterations,
+            seed=seed,
+        ),
+        num_workers=num_workers,
+        exchange_interval=exchange_interval,
+        backend=backend,
+    )
+    return PortfolioOptimizer(transformations, cost=objective, config=config).optimize(
+        circuit
+    )
+
+
+class PortfolioBaseline(BaselineOptimizer):
+    """The portfolio packaged behind the Table 3 baseline interface."""
+
+    def __init__(
+        self,
+        gate_set,
+        cost: "CostFunction | None" = None,
+        num_workers: int = 4,
+        time_limit: float = 10.0,
+        epsilon: float = 1e-6,
+        seed: "int | None" = None,
+        backend: str = "auto",
+    ) -> None:
+        from repro.core.instantiate import default_transformations
+
+        self.transformations = default_transformations(gate_set, epsilon=epsilon, rng=seed)
+        self.cost = cost
+        self.config = PortfolioConfig(
+            search=GuoqConfig(
+                epsilon_budget=epsilon, time_limit=time_limit, seed=seed
+            ),
+            num_workers=num_workers,
+            backend=backend,
+        )
+        self.name = f"guoq_portfolio[n={num_workers}]"
+
+    def optimize(self, circuit: Circuit) -> Circuit:
+        optimizer = PortfolioOptimizer(
+            self.transformations, cost=self.cost, config=self.config
+        )
+        return optimizer.optimize(circuit).best_circuit

@@ -1,0 +1,298 @@
+"""Tests for the step-wise GUOQ engine and the parallel portfolio driver."""
+
+import pickle
+
+import pytest
+
+from repro.circuits import Circuit, circuit_distance
+from repro.core import (
+    GuoqConfig,
+    GuoqOptimizer,
+    TotalGateCount,
+    TwoQubitGateCount,
+    rewrite_transformations,
+)
+from repro.gatesets import IBM_EAGLE
+from repro.parallel import (
+    PortfolioConfig,
+    PortfolioOptimizer,
+    RoundExecutor,
+    VariantSpec,
+    assign_variants,
+    default_variants,
+)
+from repro.rewrite import rules_for_gate_set
+from repro.utils.rng import derive_seed, spawn_seeds
+
+EPS = 1e-6
+
+
+def redundant_circuit() -> Circuit:
+    circuit = Circuit(4, name="redundant")
+    circuit.rz(0.4, 0).rz(-0.4, 0).cx(0, 1).cx(0, 1)
+    circuit.sx(2).sx(2).rz(0.3, 1).cx(1, 2).rz(0.2, 1).cx(1, 2)
+    circuit.x(0).x(0).cx(2, 3).rz(1.1, 3).cx(2, 3).sx(3).sx(3)
+    circuit.rz(0.7, 2).rz(-0.2, 2).cx(0, 3).cx(0, 3).x(1).x(1)
+    return circuit
+
+
+def eagle_transformations():
+    return rewrite_transformations(rules_for_gate_set(IBM_EAGLE))
+
+
+def base_config(max_iterations: int = 300, seed: int = 11) -> GuoqConfig:
+    return GuoqConfig(time_limit=1e9, max_iterations=max_iterations, seed=seed)
+
+
+def portfolio(num_workers=4, backend="serial", seed=11, max_iterations=300, **kwargs):
+    config = PortfolioConfig(
+        search=base_config(max_iterations=max_iterations, seed=seed),
+        num_workers=num_workers,
+        exchange_interval=75,
+        backend=backend,
+        **kwargs,
+    )
+    return PortfolioOptimizer(eagle_transformations(), TotalGateCount(), config)
+
+
+class TestSeedDerivation:
+    def test_derive_seed_is_deterministic(self):
+        assert derive_seed(42, 3) == derive_seed(42, 3)
+
+    def test_derive_seed_separates_paths(self):
+        assert derive_seed(42, 0) != derive_seed(42, 1)
+        assert derive_seed(42, 0) != derive_seed(43, 0)
+
+    def test_spawn_seeds_deterministic_for_fixed_root(self):
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+        assert len(set(spawn_seeds(7, 5))) == 5
+
+    def test_spawn_seeds_none_root_is_entropic(self):
+        first, second = spawn_seeds(None, 3), spawn_seeds(None, 3)
+        assert first != second
+
+    def test_spawn_seeds_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestStepwiseEngine:
+    def test_step_returns_false_after_budget(self):
+        run = GuoqOptimizer(eagle_transformations(), TotalGateCount(), base_config(50)).start(
+            redundant_circuit()
+        )
+        assert run.step(1000) is False
+        assert run.done
+        assert run.iterations == 50
+        assert run.step(1) is False
+
+    def test_stepwise_matches_blocking_optimize(self):
+        optimizer = GuoqOptimizer(eagle_transformations(), TotalGateCount(), base_config())
+        blocking = optimizer.optimize(redundant_circuit())
+        run = optimizer.start(redundant_circuit())
+        while run.step(17):  # odd chunk size on purpose
+            pass
+        stepwise = run.result()
+        assert stepwise.best_circuit == blocking.best_circuit
+        assert stepwise.best_cost == blocking.best_cost
+        assert stepwise.accepted == blocking.accepted
+        assert stepwise.skipped_budget == blocking.skipped_budget
+        assert [p.cost for p in stepwise.history] == [p.cost for p in blocking.history]
+
+    def test_snapshot_is_anytime_valid(self):
+        optimizer = GuoqOptimizer(eagle_transformations(), TotalGateCount(), base_config())
+        run = optimizer.start(redundant_circuit())
+        run.step(40)
+        partial = run.snapshot()
+        assert partial.iterations == 40
+        assert partial.best_cost <= partial.initial_cost
+        assert circuit_distance(redundant_circuit(), partial.best_circuit) < EPS
+        # Snapshotting must not disturb the run.
+        run.step(40)
+        assert run.iterations == 80
+        assert run.best_cost <= partial.best_cost
+
+    def test_pickled_run_resumes_identically(self):
+        optimizer = GuoqOptimizer(eagle_transformations(), TotalGateCount(), base_config())
+        straight = optimizer.start(redundant_circuit())
+        straight.step(200)
+
+        paused = optimizer.start(redundant_circuit())
+        paused.step(100)
+        resumed = pickle.loads(pickle.dumps(paused))
+        resumed.step(100)
+
+        assert resumed.iterations == straight.iterations
+        assert resumed.best_cost == straight.best_cost
+        assert resumed.best_circuit == straight.best_circuit
+        assert resumed.state().accepted == straight.state().accepted
+
+    def test_inject_incumbent_improves_best_and_history(self):
+        optimizer = GuoqOptimizer(eagle_transformations(), TotalGateCount(), base_config())
+        run = optimizer.start(redundant_circuit())
+        incumbent = Circuit(4).cx(0, 1)
+        assert run.inject_incumbent(incumbent) is True
+        assert run.best_circuit == incumbent
+        assert run.current_circuit == incumbent
+        assert run.history[-1].cost == 1.0
+
+    def test_inject_worse_incumbent_keeps_best(self):
+        optimizer = GuoqOptimizer(eagle_transformations(), TotalGateCount(), base_config())
+        run = optimizer.start(redundant_circuit())
+        run.step(200)
+        best_before = run.best_circuit
+        worse = redundant_circuit()
+        assert run.inject_incumbent(worse) is False
+        assert run.best_circuit == best_before
+        assert run.current_circuit == worse
+
+
+class TestVariants:
+    def test_anchor_assignment(self):
+        assigned = assign_variants(4)
+        assert assigned[0].label == "anchor"
+        assert len(assigned) == 4
+
+    def test_cycle_wraps(self):
+        cycle = default_variants()
+        assigned = assign_variants(len(cycle) + 2)
+        assert assigned[1].label == assigned[1 + len(cycle)].label
+
+    def test_configure_inherits_base(self):
+        base = base_config()
+        spec = VariantSpec(label="exploratory", temperature=4.0)
+        worker = spec.configure(base, seed=99)
+        assert worker.temperature == 4.0
+        assert worker.seed == 99
+        assert worker.resynthesis_probability == base.resynthesis_probability
+        assert base.seed == 11  # base untouched
+
+    def test_rejects_empty_portfolio(self):
+        with pytest.raises(ValueError):
+            assign_variants(0)
+
+
+class TestPortfolioDeterminism:
+    def test_same_root_seed_same_merged_result(self):
+        first = portfolio().optimize(redundant_circuit())
+        second = portfolio().optimize(redundant_circuit())
+        assert first.best_circuit == second.best_circuit
+        assert first.best_cost == second.best_cost
+        assert first.incumbent_trace == second.incumbent_trace
+        assert first.worker_seeds == second.worker_seeds
+        assert [r.best_cost for r in first.worker_results] == [
+            r.best_cost for r in second.worker_results
+        ]
+
+    def test_backend_does_not_change_result(self):
+        serial = portfolio(backend="serial").optimize(redundant_circuit())
+        threaded = portfolio(backend="threads").optimize(redundant_circuit())
+        assert serial.best_circuit == threaded.best_circuit
+        assert serial.incumbent_trace == threaded.incumbent_trace
+        assert [r.best_cost for r in serial.worker_results] == [
+            r.best_cost for r in threaded.worker_results
+        ]
+
+    def test_process_backend_matches_serial(self):
+        serial = portfolio(num_workers=2, max_iterations=150).optimize(redundant_circuit())
+        processes = portfolio(
+            num_workers=2, max_iterations=150, backend="processes"
+        ).optimize(redundant_circuit())
+        assert processes.backend == "processes"
+        assert serial.best_circuit == processes.best_circuit
+        assert serial.incumbent_trace == processes.incumbent_trace
+
+
+class TestPortfolioCorrectness:
+    @pytest.mark.parametrize("num_workers", [1, 2, 3])
+    def test_worker_count_preserves_semantics(self, num_workers):
+        result = portfolio(num_workers=num_workers, max_iterations=150).optimize(
+            redundant_circuit()
+        )
+        assert result.num_workers == num_workers
+        assert circuit_distance(redundant_circuit(), result.best_circuit) < EPS
+        assert result.best_cost <= result.initial_cost
+        assert result.error_bound == 0.0  # rewrites only
+
+    def test_incumbent_trace_is_monotone(self):
+        result = portfolio().optimize(redundant_circuit())
+        trace = result.incumbent_trace
+        assert trace, "portfolio ran no exchange rounds"
+        assert all(a >= b for a, b in zip(trace, trace[1:]))
+        history = [point.cost for point in result.history]
+        assert all(a > b for a, b in zip(history, history[1:]))
+
+    def test_portfolio_not_worse_than_anchored_solo(self):
+        solo = GuoqOptimizer(
+            eagle_transformations(), TotalGateCount(), base_config()
+        ).optimize(redundant_circuit())
+        result = portfolio().optimize(redundant_circuit())
+        assert result.best_cost <= solo.best_cost
+        # The anchor worker reproduces the solo run exactly.
+        anchor = result.worker_results[0]
+        assert anchor.best_cost == solo.best_cost
+        assert anchor.best_circuit == solo.best_circuit
+        assert anchor.accepted == solo.accepted
+
+    def test_surrogate_cost_worker_is_ranked_under_portfolio_objective(self):
+        config = PortfolioConfig(
+            search=base_config(),
+            num_workers=2,
+            exchange_interval=75,
+            backend="serial",
+            variants=(VariantSpec(label="surrogate", cost=TwoQubitGateCount()),),
+        )
+        result = PortfolioOptimizer(
+            eagle_transformations(), TotalGateCount(), config
+        ).optimize(redundant_circuit())
+        assert result.worker_labels == ["anchor", "surrogate"]
+        assert result.best_cost == TotalGateCount()(result.best_circuit)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PortfolioConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            PortfolioConfig(exchange_interval=0)
+        with pytest.raises(ValueError):
+            PortfolioConfig(backend="quantum")
+        with pytest.raises(ValueError):
+            PortfolioOptimizer([], TotalGateCount())
+
+
+class _UnpicklableCost:
+    """A cost whose instances cannot cross a process boundary."""
+
+    name = "unpicklable"
+
+    def __init__(self):
+        self._fn = lambda circuit: float(circuit.size())
+
+    def __call__(self, circuit):
+        return self._fn(circuit)
+
+
+class TestThreadsFallback:
+    def test_auto_falls_back_to_threads_smoke(self):
+        config = PortfolioConfig(
+            search=base_config(max_iterations=120),
+            num_workers=2,
+            exchange_interval=60,
+            backend="auto",
+        )
+        optimizer = PortfolioOptimizer(eagle_transformations(), _UnpicklableCost(), config)
+        result = optimizer.optimize(redundant_circuit())
+        assert result.backend == "threads"
+        assert circuit_distance(redundant_circuit(), result.best_circuit) < EPS
+        assert result.best_cost <= result.initial_cost
+
+    def test_explicit_processes_backend_raises_when_unpicklable(self):
+        executor = RoundExecutor("processes", max_workers=2)
+        optimizer = GuoqOptimizer(
+            eagle_transformations(), _UnpicklableCost(), base_config(50)
+        )
+        engines = [optimizer.start(redundant_circuit())]
+        try:
+            with pytest.raises(Exception):
+                executor.run_round(engines, 10)
+        finally:
+            executor.close()

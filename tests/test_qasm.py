@@ -6,6 +6,7 @@ import pytest
 
 from repro.circuits import Circuit, circuits_equivalent
 from repro.circuits import qasm
+from repro.suite import generators
 
 
 SAMPLE = """
@@ -86,3 +87,43 @@ class TestRoundTrip:
         circuit = Circuit(1).rz(math.pi, 0).rz(math.pi / 2, 0).rz(-math.pi / 4, 0)
         text = qasm.dumps(circuit)
         assert "rz(pi)" in text and "rz(pi/2)" in text and "rz(-pi/4)" in text
+
+
+def _suite_fuzz_cases():
+    """Suite-generator circuits spanning every gate family the suite emits."""
+    cases = []
+    for seed in (0, 1, 2, 3):
+        cases.append(generators.random_clifford_t(4, 40, seed=seed, name=f"ct_{seed}"))
+        cases.append(generators.random_parameterized(4, 40, seed=seed, name=f"param_{seed}"))
+        cases.append(generators.qaoa_maxcut(5, layers=2, seed=seed, name=f"qaoa_{seed}"))
+        cases.append(generators.vqe_ansatz(4, depth=2, seed=seed, name=f"vqe_{seed}"))
+    cases.append(generators.qft(5))
+    cases.append(generators.qpe(4))
+    cases.append(generators.grover(3))
+    cases.append(generators.hidden_shift(6))
+    cases.append(generators.ripple_carry_adder(3))
+    cases.append(generators.draper_adder(3))
+    cases.append(generators.ising_trotter(5))
+    return cases
+
+
+class TestSuiteFuzzRoundTrip:
+    """Every suite-generated circuit survives dump -> parse -> dump intact."""
+
+    @pytest.mark.parametrize("circuit", _suite_fuzz_cases(), ids=lambda c: c.name)
+    def test_dump_parse_dump_is_exact(self, circuit):
+        text = qasm.dumps(circuit)
+        parsed = qasm.loads(text)
+        assert parsed.num_qubits == circuit.num_qubits
+        assert parsed.size() == circuit.size()
+        for original, loaded in zip(circuit.instructions, parsed.instructions):
+            assert loaded.gate == original.gate
+            assert loaded.qubits == original.qubits
+            assert len(loaded.params) == len(original.params)
+            for got, expected in zip(loaded.params, original.params):
+                # pi-multiples are canonicalised to exact math.pi fractions by
+                # the formatter; everything else repr-round-trips exactly.
+                assert got == pytest.approx(expected, abs=1e-12)
+        # A second round trip is bit-stable: parsing normalises the angles, so
+        # the re-dumped text is a fixed point.
+        assert qasm.dumps(qasm.loads(qasm.dumps(parsed))) == qasm.dumps(parsed)

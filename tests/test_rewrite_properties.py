@@ -38,9 +38,9 @@ _GATE_SET_2Q = {
 
 
 @st.composite
-def circuit_in_gate_set(draw, gate_set_name: str):
-    num_qubits = draw(st.integers(min_value=2, max_value=MAX_QUBITS))
-    length = draw(st.integers(min_value=0, max_value=25))
+def circuit_in_gate_set(draw, gate_set_name: str, max_qubits: int = MAX_QUBITS, max_length: int = 25):
+    num_qubits = draw(st.integers(min_value=2, max_value=max_qubits))
+    length = draw(st.integers(min_value=0, max_value=max_length))
     circuit = Circuit(num_qubits, name=f"random_{gate_set_name}")
     one_qubit_choices = _GATE_SET_1Q[gate_set_name]
     entangler = _GATE_SET_2Q[gate_set_name]
@@ -76,6 +76,51 @@ class TestRewriteLibrariesPreserveSemantics:
     def test_random_circuits(self, gate_set_name, data):
         circuit = data.draw(circuit_in_gate_set(gate_set_name))
         _check_library_on(circuit, gate_set_name)
+
+
+def small_circuit_in_gate_set(gate_set_name: str):
+    """Random 2-3 qubit circuit for the per-rule equivalence property."""
+    return circuit_in_gate_set(gate_set_name, max_qubits=3, max_length=20)
+
+
+@pytest.mark.parametrize("gate_set_name", sorted(ALL_GATE_SETS))
+class TestEveryRulePreservesUnitary:
+    """Each individual rule is unitary-preserving within its declared epsilon.
+
+    The library-level tests above exercise the rules composed to a fixpoint;
+    this property pins down *which* rule is at fault when one of them breaks:
+    a single ``apply_pass`` of every rule in the gate set's library must keep
+    the circuit unitary within ``rule.epsilon`` (all current rules declare
+    epsilon = 0, so "within numerical tolerance").
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_single_pass_of_each_rule(self, gate_set_name, data):
+        circuit = data.draw(small_circuit_in_gate_set(gate_set_name))
+        gate_set = ALL_GATE_SETS[gate_set_name]
+        for rule in rules_for_gate_set(gate_set):
+            rewritten, count = rule.apply_pass(circuit)
+            distance = circuit_distance(circuit, rewritten)
+            assert distance <= rule.epsilon + EPS, (
+                f"rule {rule.name} drifted by {distance:g} (declared epsilon "
+                f"{rule.epsilon:g}) after {count} rewrite(s)"
+            )
+            # A pass that reports no matches must be the identity.
+            if count == 0:
+                assert rewritten == circuit, rule.name
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_rules_compose_pairwise(self, gate_set_name, data):
+        """Two successive single-rule passes also stay within epsilon."""
+        circuit = data.draw(small_circuit_in_gate_set(gate_set_name))
+        rules = rules_for_gate_set(ALL_GATE_SETS[gate_set_name])
+        first = data.draw(st.sampled_from(rules))
+        second = data.draw(st.sampled_from(rules))
+        intermediate, _ = first.apply_pass(circuit)
+        final, _ = second.apply_pass(intermediate)
+        assert circuit_distance(circuit, final) <= first.epsilon + second.epsilon + EPS
 
 
 @settings(max_examples=25, deadline=None)
