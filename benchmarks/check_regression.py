@@ -1,0 +1,162 @@
+"""Gate CI on benchmark wall-clock: compare a BENCH json against a baseline.
+
+The CI perf job runs the ``-m smoke`` benchmarks with
+``pytest-benchmark --benchmark-json BENCH_<run>.json`` and then calls this
+script, which fails the job when any benchmark's mean time regressed more
+than ``--threshold`` (default 25%) against the committed baseline.  The
+baseline is a trimmed snapshot of a known-good run; refresh it with::
+
+    python -m pytest benchmarks -m smoke --benchmark-json BENCH_new.json
+    python benchmarks/check_regression.py BENCH_new.json --update-baseline
+
+``--require-cache-hits`` additionally asserts that at least one benchmark
+reported a positive ``cache_hit_rate`` in its ``extra_info`` — the
+acceptance signal that the resynthesis cache is live on the hot path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline_smoke.json"
+DEFAULT_THRESHOLD = 0.25
+#: absolute slack (seconds) a mean must exceed the baseline by, *in addition*
+#: to the relative threshold, before the gate fails — sub-100ms benchmarks
+#: would otherwise false-fail on ordinary timer/runner noise
+DEFAULT_ABS_SLACK = 0.1
+
+
+def load_bench_means(path: Path) -> "tuple[dict[str, float], dict[str, dict]]":
+    """Extract {benchmark name: mean seconds} and extra_info from a BENCH json."""
+    data = json.loads(path.read_text())
+    means: dict[str, float] = {}
+    extras: dict[str, dict] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", bench.get("fullname", "?"))
+        means[name] = float(bench["stats"]["mean"])
+        extras[name] = bench.get("extra_info", {}) or {}
+    return means, extras
+
+
+def load_baseline(path: Path) -> dict[str, float]:
+    data = json.loads(path.read_text())
+    return {name: float(entry["mean"]) for name, entry in data.get("benchmarks", {}).items()}
+
+
+def write_baseline(bench_path: Path, baseline_path: Path) -> None:
+    means, _ = load_bench_means(bench_path)
+    baseline = {
+        "note": (
+            "Committed smoke-benchmark baseline for benchmarks/check_regression.py; "
+            "refresh with --update-baseline (see README, 'Performance layer and CI benchmarks')"
+        ),
+        "source": bench_path.name,
+        "benchmarks": {name: {"mean": mean} for name, mean in sorted(means.items())},
+    }
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"baseline written to {baseline_path} ({len(means)} benchmarks)")
+
+
+def check(
+    bench_path: Path,
+    baseline_path: Path,
+    threshold: float,
+    require_cache_hits: bool,
+    abs_slack: float = DEFAULT_ABS_SLACK,
+) -> int:
+    means, extras = load_bench_means(bench_path)
+    if not means:
+        print(f"ERROR: {bench_path} contains no benchmarks", file=sys.stderr)
+        return 2
+    baseline = load_baseline(baseline_path)
+
+    failures: list[str] = []
+    for name, mean in sorted(means.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"NEW      {name}: {mean:.3f}s (no baseline entry; not gated)")
+            continue
+        ratio = mean / base if base > 0 else float("inf")
+        # Both gates must trip: the relative threshold (the policy) and an
+        # absolute slack (the noise floor), so a 9ms benchmark jittering to
+        # 13ms does not block CI while a 1.2s one regressing to 1.6s does.
+        regressed = ratio > 1.0 + threshold and (mean - base) > abs_slack
+        status = "OK" if not regressed else "REGRESSED"
+        print(f"{status:10}{name}: {mean:.3f}s vs baseline {base:.3f}s ({ratio:.2f}x)")
+        if regressed:
+            failures.append(
+                f"{name} regressed {ratio:.2f}x (mean {mean:.3f}s vs baseline {base:.3f}s, "
+                f"threshold {1.0 + threshold:.2f}x + {abs_slack:.2f}s slack)"
+            )
+    for name in sorted(set(baseline) - set(means)):
+        print(f"MISSING  {name}: in baseline but not in this run (not gated)")
+
+    if require_cache_hits:
+        hit_rates = {
+            name: info["cache_hit_rate"]
+            for name, info in extras.items()
+            if "cache_hit_rate" in info
+        }
+        if not any(rate > 0 for rate in hit_rates.values()):
+            failures.append(
+                "no benchmark reported a positive cache_hit_rate in extra_info "
+                f"(saw: {hit_rates or 'none'})"
+            )
+        else:
+            best = max(hit_rates.values())
+            print(f"CACHE    best reported cache_hit_rate: {best:.2f}")
+
+    if failures:
+        print("\nperf regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf regression gate passed")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", type=Path, help="BENCH_*.json produced by pytest-benchmark")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional slowdown vs baseline (0.25 = fail above 1.25x)",
+    )
+    parser.add_argument(
+        "--abs-slack",
+        type=float,
+        default=DEFAULT_ABS_SLACK,
+        help="absolute seconds above baseline also required to fail (noise floor)",
+    )
+    parser.add_argument(
+        "--require-cache-hits",
+        action="store_true",
+        help="fail unless some benchmark reports extra_info cache_hit_rate > 0",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this BENCH json instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update_baseline:
+        write_baseline(args.bench_json, args.baseline)
+        return 0
+    return check(
+        args.bench_json,
+        args.baseline,
+        args.threshold,
+        args.require_cache_hits,
+        abs_slack=args.abs_slack,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

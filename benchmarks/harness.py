@@ -19,7 +19,10 @@ observed shapes relate to the published ones.
 
 from __future__ import annotations
 
+import signal
 import sys
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.baselines import make_baseline
@@ -36,6 +39,56 @@ DEFAULT_TIME_LIMIT = 2.0
 DEFAULT_SCALE = "tiny"
 DEFAULT_SEED = 0
 DEFAULT_EPSILON = 1e-6
+#: per-case wall-clock budget multiplier: a single optimizer run on a single
+#: benchmark may use at most ``max(DEFAULT_MIN_CASE_BUDGET, factor * time_limit)``
+#: seconds before it is aborted and reported as a timeout
+DEFAULT_CASE_BUDGET_FACTOR = 10.0
+DEFAULT_MIN_CASE_BUDGET = 30.0
+
+
+class CaseTimeout(BaseException):
+    """Raised inside a benchmark case that exceeded its wall-clock budget.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so broad
+    ``except Exception`` recovery paths inside the tools under test — e.g.
+    the portfolio executor's auto backend fallback — cannot swallow the
+    one-shot alarm and resume the very case the guard is aborting.
+    """
+
+
+@contextmanager
+def time_budget(seconds: "float | None"):
+    """Abort the enclosed block with :class:`CaseTimeout` after ``seconds``.
+
+    Guards the smoke job against runaway resynthesis calls: synthesis
+    backends have their own budgets, but a pathological search (deep BFS,
+    stuck annealing) can overshoot them by orders of magnitude, and a hung
+    case would otherwise stall the whole bench session.  Implemented with
+    ``SIGALRM``, so the guard is active only on the main thread of platforms
+    that have it (CI's Linux runners do); elsewhere the block runs
+    unguarded, which degrades to the previous behavior instead of failing.
+    Yields True when the guard is armed.
+    """
+    armed = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not armed:
+        yield False
+        return
+
+    def _expired(signum, frame):
+        raise CaseTimeout(f"case exceeded its {seconds:.1f}s budget")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @dataclass
@@ -51,6 +104,9 @@ class ToolRun:
     optimized_two_qubit: int
     optimized_t: int
     optimized_total: int
+    #: the run hit its per-case wall-clock budget; metrics report the
+    #: unoptimized circuit (a 0.0 reduction) instead of hanging the session
+    timed_out: bool = False
 
 
 @dataclass
@@ -59,12 +115,16 @@ class ComparisonResult:
 
     gate_set: str
     runs: dict[str, list[ToolRun]] = field(default_factory=dict)
+    #: ``(benchmark, tool)`` pairs whose run exceeded the per-case budget
+    timeouts: list[tuple[str, str]] = field(default_factory=list)
 
     def tools(self) -> list[str]:
         return [tool for tool in self.runs if tool != "guoq"]
 
 
-def _metrics(name: str, tool: str, original: Circuit, optimized: Circuit, device) -> ToolRun:
+def _metrics(
+    name: str, tool: str, original: Circuit, optimized: Circuit, device, timed_out: bool = False
+) -> ToolRun:
     return ToolRun(
         benchmark=name,
         tool=tool,
@@ -75,6 +135,7 @@ def _metrics(name: str, tool: str, original: Circuit, optimized: Circuit, device
         optimized_two_qubit=optimized.two_qubit_count(),
         optimized_t=optimized.t_count(),
         optimized_total=optimized.size(),
+        timed_out=timed_out,
     )
 
 
@@ -87,48 +148,82 @@ def evaluate_tools(
     seed: int = DEFAULT_SEED,
     max_cases: "int | None" = None,
     include_guoq: bool = True,
+    case_budget: "float | None" = None,
 ) -> ComparisonResult:
-    """Run GUOQ plus the named baseline tools over the lowered suite."""
+    """Run GUOQ plus the named baseline tools over the lowered suite.
+
+    Every individual (tool, benchmark) run is wall-clock bounded by
+    ``case_budget`` seconds (default: ``10 * time_limit``, at least 30s); a
+    run that exceeds it is aborted and recorded as a timeout with the
+    unoptimized circuit's metrics, instead of hanging the bench session.
+    """
     gate_set = get_gate_set(gate_set_name)
     device = device_for_gate_set(gate_set_name)
     objective = default_objective(gate_set, objective_mode)
     cases = lowered_suite(gate_set, scale)
     if max_cases is not None:
         cases = cases[:max_cases]
+    if case_budget is None:
+        case_budget = max(DEFAULT_MIN_CASE_BUDGET, DEFAULT_CASE_BUDGET_FACTOR * time_limit)
 
     result = ComparisonResult(gate_set=gate_set_name)
+
+    def run_case(name: str, tool: str, original: Circuit, optimize) -> None:
+        try:
+            with time_budget(case_budget):
+                optimized = optimize()
+            timed_out = False
+        except CaseTimeout:
+            optimized = original
+            timed_out = True
+            result.timeouts.append((name, tool))
+            print(
+                f"TIMEOUT: {tool} on {name} exceeded {case_budget:.0f}s; "
+                "reporting the unoptimized circuit",
+                file=sys.stderr,
+            )
+        result.runs.setdefault(tool, []).append(
+            _metrics(name, tool, original, optimized, device, timed_out=timed_out)
+        )
+
     for case in cases:
         if include_guoq:
-            guoq_run = optimize_circuit(
+            run_case(
+                case.name,
+                "guoq",
                 case.circuit,
-                gate_set,
-                objective=objective,
-                epsilon_budget=DEFAULT_EPSILON,
-                time_limit=time_limit,
-                seed=seed,
-                synthesis_time_budget=min(1.0, time_limit / 2),
-            )
-            result.runs.setdefault("guoq", []).append(
-                _metrics(case.name, "guoq", case.circuit, guoq_run.best_circuit, device)
+                lambda case=case: optimize_circuit(
+                    case.circuit,
+                    gate_set,
+                    objective=objective,
+                    epsilon_budget=DEFAULT_EPSILON,
+                    time_limit=time_limit,
+                    seed=seed,
+                    synthesis_time_budget=min(1.0, time_limit / 2),
+                ).best_circuit,
             )
         for tool in tools:
-            optimizer = make_baseline(
+            run_case(
+                case.name,
                 tool,
-                gate_set,
-                cost=objective,
-                time_limit=time_limit,
-                epsilon=DEFAULT_EPSILON,
-                seed=seed,
-            )
-            optimized = optimizer.optimize(case.circuit)
-            result.runs.setdefault(tool, []).append(
-                _metrics(case.name, tool, case.circuit, optimized, device)
+                case.circuit,
+                lambda case=case, tool=tool: make_baseline(
+                    tool,
+                    gate_set,
+                    cost=objective,
+                    time_limit=time_limit,
+                    epsilon=DEFAULT_EPSILON,
+                    seed=seed,
+                ).optimize(case.circuit),
             )
     return result
 
 
 def better_match_worse(
-    result: ComparisonResult, tool: str, metric: str = "two_qubit_reduction", tolerance: float = 1e-9
+    result: ComparisonResult,
+    tool: str,
+    metric: str = "two_qubit_reduction",
+    tolerance: float = 1e-9,
 ) -> tuple[int, int, int]:
     """GUOQ-vs-tool summary counts, as under each plot in Figs. 8–12."""
     guoq_runs = {run.benchmark: run for run in result.runs["guoq"]}

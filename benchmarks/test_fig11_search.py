@@ -47,10 +47,14 @@ def _run():
                 transformations, cost=objective, beam_width=8, time_limit=TIME_LIMIT, seed=0
             ).optimize(case.circuit),
         }
-        results[case.name] = {label: circuit.two_qubit_count() for label, circuit in variants.items()}
+        results[case.name] = {
+            label: circuit.two_qubit_count() for label, circuit in variants.items()
+        }
     labels = ["guoq", "seq-rewrite-resynth", "seq-resynth-rewrite", "guoq-beam"]
     rows = [[name, *(counts[label] for label in labels)] for name, counts in results.items()]
-    print_table("Fig. 11 — final 2q count per search algorithm (ibmq20)", ["benchmark", *labels], rows)
+    print_table(
+        "Fig. 11 — final 2q count per search algorithm (ibmq20)", ["benchmark", *labels], rows
+    )
     return results
 
 

@@ -108,3 +108,11 @@ def test_portfolio_scaling(benchmark):
     # generous so a loaded CI machine cannot flake the deterministic suite.
     if (os.cpu_count() or 1) >= 2:
         assert timings["processes"] < timings["serial"] * 3.0
+
+    # Hot-path instrumentation travels with the merged result: record the
+    # portfolio-wide throughput in the BENCH json artifact.
+    perf = results["serial"].perf
+    assert perf is not None and perf.iterations > 0
+    benchmark.extra_info["portfolio_iterations_per_sec"] = perf.iterations_per_second
+    benchmark.extra_info["rewrite_skips"] = perf.rewrite_skips
+    benchmark.extra_info["serial_wall_seconds"] = timings["serial"]

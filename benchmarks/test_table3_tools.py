@@ -26,7 +26,9 @@ def _run():
         gate_set = CLIFFORD_T if tool in {"pyzx", "synthetiq-partition"} else IBM_EAGLE
         optimizer = make_baseline(tool, gate_set, time_limit=1.0, seed=0)
         rows.append([tool, _APPROACH[tool], optimizer.name])
-    print_table("Table 3 — comparison tools and stand-ins", ["tool", "approach", "implementation"], rows)
+    print_table(
+        "Table 3 — comparison tools and stand-ins", ["tool", "approach", "implementation"], rows
+    )
     return rows
 
 

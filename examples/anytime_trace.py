@@ -37,7 +37,10 @@ def main() -> None:
         )
         print(f"{label}:")
         for point in result.history:
-            print(f"  t={point.elapsed:6.2f}s  2q={point.two_qubit_count:4d}  total={point.total_count:4d}")
+            print(
+                f"  t={point.elapsed:6.2f}s  2q={point.two_qubit_count:4d}  "
+                f"total={point.total_count:4d}"
+            )
         print(f"  final: {result.best_circuit.two_qubit_count()} two-qubit gates\n")
 
 

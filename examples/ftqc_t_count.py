@@ -16,7 +16,10 @@ from repro.suite import barenco_toffoli, vbe_adder
 
 
 def report(label: str, circuit) -> None:
-    print(f"  {label:<22s} total {circuit.size():4d}   T {circuit.t_count():3d}   CX {circuit.two_qubit_count():3d}")
+    print(
+        f"  {label:<22s} total {circuit.size():4d}   T {circuit.t_count():3d}   "
+        f"CX {circuit.two_qubit_count():3d}"
+    )
 
 
 def main() -> None:

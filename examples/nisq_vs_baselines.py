@@ -44,7 +44,8 @@ def main() -> None:
         )
         best = result.best_circuit
         print(f"  {'guoq':<8s} {best.size():4d} gates, {best.two_qubit_count():3d} 2q, "
-              f"fidelity {device.circuit_fidelity(best):.4f}  (error bound {result.error_bound:.1e})")
+              f"fidelity {device.circuit_fidelity(best):.4f}  "
+              f"(error bound {result.error_bound:.1e})")
 
 
 if __name__ == "__main__":

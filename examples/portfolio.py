@@ -18,7 +18,10 @@ from repro.suite import qft
 def main() -> None:
     gate_set = get_gate_set("ibmq20")
     circuit = decompose_to_gate_set(qft(6), gate_set)
-    print(f"qft_6 on {gate_set.name}: {circuit.size()} gates, {circuit.two_qubit_count()} two-qubit\n")
+    print(
+        f"qft_6 on {gate_set.name}: {circuit.size()} gates, "
+        f"{circuit.two_qubit_count()} two-qubit\n"
+    )
 
     result = optimize_circuit_portfolio(
         circuit,

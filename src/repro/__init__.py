@@ -50,11 +50,13 @@ from repro.parallel import (
     PortfolioResult,
     optimize_circuit_portfolio,
 )
+from repro.perf import CacheStats, PerfReport, ResynthesisCache
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALL_GATE_SETS",
+    "CacheStats",
     "Circuit",
     "DeviceModel",
     "GuoqConfig",
@@ -63,9 +65,11 @@ __all__ = [
     "GuoqRun",
     "Instruction",
     "NegativeLogFidelity",
+    "PerfReport",
     "PortfolioConfig",
     "PortfolioOptimizer",
     "PortfolioResult",
+    "ResynthesisCache",
     "TCount",
     "TwoQubitGateCount",
     "WeightedGateCount",

@@ -14,8 +14,6 @@ from __future__ import annotations
 import itertools
 import time
 
-import numpy as np
-
 from repro.baselines.base import BaselineOptimizer
 from repro.circuits.circuit import Circuit
 from repro.core.objectives import CostFunction, TwoQubitGateCount

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.circuits.circuit import Circuit, Instruction
+from repro.circuits.circuit import Circuit
 
 
 @dataclass(frozen=True)

@@ -65,7 +65,10 @@ class Instruction:
             if abs(angle) < atol:
                 return True
             # u1/p/cp have period 2*pi exactly (no global phase issue).
-            if spec.name in {"u1", "p", "cp", "cu1"} and abs(math.remainder(self.params[0], TWO_PI)) < atol:
+            if (
+                spec.name in {"u1", "p", "cp", "cu1"}
+                and abs(math.remainder(self.params[0], TWO_PI)) < atol
+            ):
                 return True
         return False
 
@@ -89,6 +92,12 @@ class Circuit:
         self.num_qubits = int(num_qubits)
         self.name = name
         self._instructions: list[Instruction] = []
+        # Incremental metric counters, maintained by ``append`` so the hot
+        # search loop reads gate counts in O(1) instead of rescanning the
+        # instruction list on every cost evaluation (see repro.perf).
+        self._gate_counts: dict[str, int] = {}
+        self._num_multi_qubit = 0
+        self._num_t_like = 0
         if instructions is not None:
             for inst in instructions:
                 self.append(inst)
@@ -130,6 +139,11 @@ class Circuit:
                 f"instruction {inst} out of range for {self.num_qubits} qubits"
             )
         self._instructions.append(inst)
+        self._gate_counts[inst.gate] = self._gate_counts.get(inst.gate, 0) + 1
+        if len(inst.qubits) >= 2:
+            self._num_multi_qubit += 1
+        if inst.gate in T_LIKE_GATES:
+            self._num_t_like += 1
         return self
 
     def add(self, gate: str, qubits: Sequence[int], params: Sequence[float] = ()) -> "Circuit":
@@ -219,6 +233,9 @@ class Circuit:
         """Shallow copy (instructions are immutable, so this is sufficient)."""
         out = Circuit(self.num_qubits, name=self.name if name is None else name)
         out._instructions = list(self._instructions)
+        out._gate_counts = dict(self._gate_counts)
+        out._num_multi_qubit = self._num_multi_qubit
+        out._num_t_like = self._num_t_like
         return out
 
     def inverse(self) -> "Circuit":
@@ -261,24 +278,21 @@ class Circuit:
     # -- metrics ------------------------------------------------------------
 
     def gate_counts(self) -> dict[str, int]:
-        """Histogram of gate names."""
-        counts: dict[str, int] = {}
-        for inst in self._instructions:
-            counts[inst.gate] = counts.get(inst.gate, 0) + 1
-        return counts
+        """Histogram of gate names (maintained incrementally, O(#names))."""
+        return dict(self._gate_counts)
 
     def count(self, *gate_names: str) -> int:
         """Number of instructions whose gate is one of ``gate_names``."""
         names = {name.lower() for name in gate_names}
-        return sum(1 for inst in self._instructions if inst.gate in names)
+        return sum(self._gate_counts.get(name, 0) for name in names)
 
     def two_qubit_count(self) -> int:
-        """Number of gates acting on two or more qubits."""
-        return sum(1 for inst in self._instructions if len(inst.qubits) >= 2)
+        """Number of gates acting on two or more qubits (O(1), incremental)."""
+        return self._num_multi_qubit
 
     def t_count(self) -> int:
-        """Number of T / T-dagger gates (the FTQC cost driver)."""
-        return sum(1 for inst in self._instructions if inst.gate in T_LIKE_GATES)
+        """Number of T / T-dagger gates, the FTQC cost driver (O(1), incremental)."""
+        return self._num_t_like
 
     def depth(self) -> int:
         """Circuit depth: longest chain of gates sharing qubits."""

@@ -38,11 +38,8 @@ import numpy as np
 
 from repro.circuits.circuit import Circuit
 from repro.core.objectives import CostFunction, TwoQubitGateCount
-from repro.core.transformations import (
-    ResynthesisTransformation,
-    RewriteTransformation,
-    Transformation,
-)
+from repro.core.transformations import RewriteTransformation, Transformation
+from repro.perf.report import PerfReport
 from repro.utils.rng import ensure_rng
 
 #: iterations per engine step used by the blocking ``optimize`` wrapper; the
@@ -68,6 +65,13 @@ class GuoqConfig:
     max_iterations: "int | None" = None
     seed: "int | None" = None
     track_history: bool = True
+    #: skip re-applying a deterministic (rewrite) transformation that already
+    #: failed to fire on the *current* circuit — a pure wall-clock
+    #: optimization: the skipped pass would scan the whole circuit only to
+    #: return None again, so the search trajectory is bit-identical
+    memoize_rewrites: bool = True
+    #: collect per-phase timers and cache statistics into ``GuoqResult.perf``
+    collect_perf: bool = True
 
 
 @dataclass
@@ -96,6 +100,9 @@ class GuoqResult:
     skipped_budget: int
     history: list[SearchHistoryPoint] = field(default_factory=list)
     applications_by_transformation: dict[str, int] = field(default_factory=dict)
+    #: hot-path instrumentation (phase timers, throughput, cache stats);
+    #: None when the run was configured with ``collect_perf=False``
+    perf: "PerfReport | None" = None
 
     @property
     def cost_reduction(self) -> float:
@@ -154,6 +161,14 @@ class GuoqRun:
         self._done = False
         self._history: list[SearchHistoryPoint] = []
         self._applications: dict[str, int] = {}
+        # No-fire memo: names of deterministic transformations that returned
+        # None on the current circuit.  Invalidated whenever the current
+        # candidate changes (accept or incumbent injection); keyed by name so
+        # the memo survives the pickle round-trips of the process backend.
+        self._nofire: set[str] = set()
+        self._nofire_skips = 0
+        self._phase_seconds = {"rewrite": 0.0, "resynthesis": 0.0, "cost": 0.0}
+        self._phase_calls = {"rewrite": 0, "resynthesis": 0, "cost": 0}
         if self._config.track_history:
             self._history.append(_history_point(0.0, 0, self._cost_best, self._best))
 
@@ -190,11 +205,43 @@ class GuoqRun:
                 if self._error_current + transformation.epsilon > config.epsilon_budget:
                     self._skipped += 1
                     continue
-                result = transformation.apply(self._current, rng)
-                if result is None:
+                if (
+                    config.memoize_rewrites
+                    and transformation.deterministic
+                    and transformation.name in self._nofire
+                ):
+                    # The transformation is a pure function of the circuit and
+                    # already failed to fire on this exact candidate: applying
+                    # it again would rescan the circuit and return None.  The
+                    # skip draws no rng and mutates no search state, so the
+                    # trajectory is bit-identical with the memo on or off.
+                    self._nofire_skips += 1
                     continue
 
-                cost_candidate = optimizer.cost(result.circuit)
+                if config.collect_perf:
+                    phase = (
+                        "rewrite"
+                        if isinstance(transformation, RewriteTransformation)
+                        else "resynthesis"
+                    )
+                    apply_started = time.perf_counter()
+                    result = transformation.apply(self._current, rng)
+                    self._phase_seconds[phase] += time.perf_counter() - apply_started
+                    self._phase_calls[phase] += 1
+                else:
+                    result = transformation.apply(self._current, rng)
+                if result is None:
+                    if transformation.deterministic:
+                        self._nofire.add(transformation.name)
+                    continue
+
+                if config.collect_perf:
+                    cost_started = time.perf_counter()
+                    cost_candidate = optimizer.cost(result.circuit)
+                    self._phase_seconds["cost"] += time.perf_counter() - cost_started
+                    self._phase_calls["cost"] += 1
+                else:
+                    cost_candidate = optimizer.cost(result.circuit)
                 accept = cost_candidate <= self._cost_current
                 if not accept and self._cost_current > 0:
                     probability = math.exp(
@@ -212,6 +259,7 @@ class GuoqRun:
                 self._current = result.circuit
                 self._cost_current = cost_candidate
                 self._error_current += result.charged_epsilon
+                self._nofire.clear()
 
                 if self._cost_current < self._cost_best:
                     self._best = self._current
@@ -245,6 +293,7 @@ class GuoqRun:
         self._current = circuit
         self._cost_current = cost
         self._error_current = error
+        self._nofire.clear()
         if cost < self._cost_best:
             self._best = circuit
             self._cost_best = cost
@@ -317,6 +366,22 @@ class GuoqRun:
             done=self._done,
         )
 
+    def perf_report(self) -> PerfReport:
+        """Hot-path instrumentation for the run so far (see :mod:`repro.perf`)."""
+        caches = {}
+        for transformation in self._optimizer.transformations:
+            cache = getattr(getattr(transformation, "resynthesizer", None), "cache", None)
+            if cache is not None:
+                caches[cache.token] = cache.stats()
+        return PerfReport(
+            iterations=self._iterations,
+            elapsed=self._elapsed,
+            phase_seconds=dict(self._phase_seconds),
+            phase_calls=dict(self._phase_calls),
+            rewrite_skips=self._nofire_skips,
+            caches=list(caches.values()),
+        )
+
     def snapshot(self) -> GuoqResult:
         """Anytime result: valid whether or not the run has finished."""
         return GuoqResult(
@@ -331,6 +396,7 @@ class GuoqRun:
             skipped_budget=self._skipped,
             history=list(self._history),
             applications_by_transformation=dict(self._applications),
+            perf=self.perf_report() if self._config.collect_perf else None,
         )
 
     result = snapshot

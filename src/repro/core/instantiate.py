@@ -29,6 +29,7 @@ from repro.core.transformations import (
 )
 from repro.gatesets.base import GateSet, get_gate_set
 from repro.noise.devices import device_for_gate_set
+from repro.perf.cache import ResynthesisCache
 from repro.rewrite.library import rules_for_gate_set
 from repro.synthesis.resynth import CliffordTResynthesizer, NumericalResynthesizer
 
@@ -41,12 +42,20 @@ def default_transformations(
     synthesis_time_budget: float = 2.0,
     max_block_qubits: int = 3,
     rng: "int | np.random.Generator | None" = None,
+    resynthesis_cache: "ResynthesisCache | bool | None" = True,
+    cache_size: int = 512,
 ) -> list[Transformation]:
     """Build the default transformation set for a gate set.
 
     ``include_rewrites`` / ``include_resynthesis`` exist so the Q2 ablations
     (GUOQ-REWRITE, GUOQ-RESYNTH) can be expressed by simply dropping half of
     the transformation set.
+
+    ``resynthesis_cache`` controls the hot-path memo of resynthesis outcomes
+    (:class:`repro.perf.ResynthesisCache`): ``True`` (default) attaches a
+    fresh private cache of ``cache_size`` entries, ``False``/``None``
+    disables caching, and an existing cache instance is attached as-is
+    (e.g. a ``shared=True`` cache reused across portfolio workers).
     """
     if isinstance(gate_set, str):
         gate_set = get_gate_set(gate_set)
@@ -71,6 +80,12 @@ def default_transformations(
                 max_qubits=min(max_block_qubits, 2),
                 rng=rng,
             )
+        if resynthesis_cache is True:
+            resynthesis_cache = ResynthesisCache(maxsize=cache_size)
+        # Explicit identity checks: an *empty* cache has len() == 0 and would
+        # read as falsy, yet it must still be attached.
+        if resynthesis_cache is not None and resynthesis_cache is not False:
+            resynthesizer.attach_cache(resynthesis_cache)
         transformations.append(
             ResynthesisTransformation(resynthesizer, max_block_qubits=max_block_qubits)
         )

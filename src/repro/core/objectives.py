@@ -66,7 +66,8 @@ class WeightedGateCount:
         if not weights:
             raise ValueError("weights must not be empty")
         self.weights = dict(weights)
-        self.name = "weighted(" + ",".join(f"{k}:{v:g}" for k, v in sorted(self.weights.items())) + ")"
+        weights_label = ",".join(f"{k}:{v:g}" for k, v in sorted(self.weights.items()))
+        self.name = f"weighted({weights_label})"
 
     def __call__(self, circuit: Circuit) -> float:
         total = 0.0

@@ -36,6 +36,10 @@ class Transformation:
     #: worst-case Hilbert–Schmidt error introduced by one application
     epsilon: float = 0.0
     name: str = "transformation"
+    #: True when ``apply`` is a pure function of the circuit (no rng draws,
+    #: no internal state): the engine may then memoize "did not fire" results
+    #: while the current circuit is unchanged (see ``GuoqConfig.memoize_rewrites``)
+    deterministic: bool = False
 
     def apply(
         self, circuit: Circuit, rng: np.random.Generator
@@ -55,6 +59,7 @@ class RewriteTransformation(Transformation):
     """
 
     epsilon = 0.0
+    deterministic = True
 
     def __init__(self, rule: RewriteRule) -> None:
         self.rule = rule
@@ -107,7 +112,7 @@ class ResynthesisTransformation(Transformation):
         if block is None or len(block) < 2:
             return None
         small = block_to_circuit(circuit, block)
-        outcome = self.resynthesizer.resynthesize(small)
+        outcome = self.resynthesizer.resynthesize_cached(small)
         if outcome is None:
             return None
         rebuilt = replace_block(circuit, block, outcome.circuit)

@@ -11,9 +11,7 @@ from the device name so results are reproducible.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from repro.circuits.circuit import Circuit, Instruction
 

@@ -49,6 +49,7 @@ from repro.core.objectives import CostFunction, TwoQubitGateCount
 from repro.core.transformations import Transformation
 from repro.parallel.backends import BACKENDS, RoundExecutor
 from repro.parallel.variants import VariantSpec, assign_variants
+from repro.perf.report import PerfReport
 from repro.utils.rng import spawn_seeds
 
 
@@ -101,6 +102,11 @@ class PortfolioResult:
     worker_results: list[GuoqResult] = field(default_factory=list)
     worker_labels: list[str] = field(default_factory=list)
     worker_seeds: "list[int | None]" = field(default_factory=list)
+    #: hot-path instrumentation merged across workers (phase seconds and
+    #: iterations sum; shared caches are deduplicated by token); ``elapsed``
+    #: is the portfolio wall-clock, so ``iterations_per_second`` reports the
+    #: portfolio-wide throughput
+    perf: "PerfReport | None" = None
 
     @property
     def cost_reduction(self) -> float:
@@ -226,6 +232,14 @@ class PortfolioOptimizer:
                             )
             backend_used = executor.backend
 
+        elapsed = time.monotonic() - start
+        worker_results = [engine.snapshot() for engine in engines]
+        perf = None
+        if base.collect_perf:
+            perf = PerfReport.merged(
+                [result.perf for result in worker_results if result.perf is not None],
+                elapsed=elapsed,
+            )
         return PortfolioResult(
             best_circuit=incumbent_circuit,
             best_cost=incumbent_cost,
@@ -236,12 +250,13 @@ class PortfolioOptimizer:
             backend=backend_used,
             rounds=rounds,
             total_iterations=sum(engine.iterations for engine in engines),
-            elapsed=time.monotonic() - start,
+            elapsed=elapsed,
             history=history,
             incumbent_trace=incumbent_trace,
-            worker_results=[engine.snapshot() for engine in engines],
+            worker_results=worker_results,
             worker_labels=labels,
             worker_seeds=seeds,
+            perf=perf,
         )
 
 
@@ -259,17 +274,43 @@ def optimize_circuit_portfolio(
     include_rewrites: bool = True,
     include_resynthesis: bool = True,
     synthesis_time_budget: float = 2.0,
+    share_resynthesis_cache: bool = False,
 ) -> PortfolioResult:
-    """Portfolio analogue of :func:`repro.core.instantiate.optimize_circuit`."""
+    """Portfolio analogue of :func:`repro.core.instantiate.optimize_circuit`.
+
+    ``share_resynthesis_cache`` attaches one ``shared=True``
+    :class:`repro.perf.ResynthesisCache` reused by every worker of the
+    in-process backends (serial/threads), so a block synthesized by one
+    worker is a cache hit for all of them.  Off by default because sharing
+    makes worker outcomes depend on sibling progress, which weakens the
+    portfolio's backend-blind determinism guarantee.  Sharing cannot cross a
+    process boundary: on the ``processes`` backend each pickled worker forks
+    its own copy (a warning is emitted), and on ``auto`` sharing only takes
+    effect if the run degrades to threads.
+    """
     # Imported here: instantiate pulls in gatesets/noise, which the leaner
     # portfolio/baseline imports of this module do not need.
     from repro.core.instantiate import default_objective, default_transformations
     from repro.gatesets.base import get_gate_set
+    from repro.perf.cache import ResynthesisCache
 
     if isinstance(gate_set, str):
         gate_set = get_gate_set(gate_set)
     if isinstance(objective, str):
         objective = default_objective(gate_set, objective)
+    cache: "ResynthesisCache | bool" = True
+    if share_resynthesis_cache:
+        if backend in ("processes", "auto"):
+            import warnings
+
+            warnings.warn(
+                "share_resynthesis_cache only shares across in-process workers; "
+                f"the {backend!r} backend pickles per-worker copies, so cross-worker "
+                "reuse will not happen there (use backend='threads' or 'serial')",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        cache = ResynthesisCache(shared=True)
     transformations = default_transformations(
         gate_set,
         epsilon=epsilon_budget,
@@ -277,6 +318,7 @@ def optimize_circuit_portfolio(
         include_resynthesis=include_resynthesis,
         synthesis_time_budget=synthesis_time_budget,
         rng=seed,
+        resynthesis_cache=cache,
     )
     config = PortfolioConfig(
         search=GuoqConfig(

@@ -1,0 +1,27 @@
+"""Hot-path performance layer: caching and instrumentation for the search loop.
+
+The GUOQ inner loop spends its time in three places: resynthesis (unitary
+synthesis of small blocks), rewrite passes (full scans of the circuit), and
+cost evaluation (circuit metrics).  This package provides the machinery that
+makes each of them cheap without changing any search outcome that the
+Algorithm 1 regression pin observes:
+
+* :class:`~repro.perf.cache.ResynthesisCache` — a content-addressed memo of
+  resynthesis outcomes keyed by a canonical (global-phase- and
+  qubit-permutation-normalized) form of the block unitary, with LRU bounds
+  and hit/miss counters;
+* :class:`~repro.perf.report.PerfReport` — per-phase wall-clock accounting,
+  iteration throughput, and cache statistics, surfaced through
+  ``GuoqResult.perf`` and merged across portfolio workers.
+"""
+
+from repro.perf.cache import ResynthesisCache, canonicalize_unitary, permute_unitary
+from repro.perf.report import CacheStats, PerfReport
+
+__all__ = [
+    "CacheStats",
+    "PerfReport",
+    "ResynthesisCache",
+    "canonicalize_unitary",
+    "permute_unitary",
+]

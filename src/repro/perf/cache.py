@@ -1,0 +1,394 @@
+"""Content-addressed memoization of resynthesis outcomes.
+
+Resynthesis is the slow transformation of the GUOQ loop: one call runs a
+numerical optimizer or a Clifford+T search over a small block unitary.  The
+same few-qubit unitaries recur constantly during a search — the circuit
+changes slowly, blocks are re-sampled from overlapping regions, and portfolio
+workers explore neighbouring variants of the same circuit — so memoizing
+``unitary -> outcome`` removes most synthesis calls from the hot path.
+
+Keying is *content-addressed and canonical*: two blocks hit the same entry
+when their unitaries agree up to
+
+* **global phase** — the Hilbert–Schmidt distance (Def. 3.2) is phase
+  insensitive, so ``e^{i a} U`` and ``U`` have interchangeable replacements;
+* **qubit relabeling** — a block on qubits ``(2, 5)`` whose unitary is the
+  qubit-swap of one previously seen on ``(1, 3)`` reuses the cached circuit
+  with its qubits permuted back.
+
+Lookups are sound by construction: the quantized canonical form only selects
+a hash bucket; within the bucket the exact canonical unitary is compared, and
+(by default) the reconstructed replacement is re-verified against the query
+unitary before it is returned, so a cache hit can never hand back a circuit
+that is not within the resynthesizer's epsilon of the query block.
+
+Caching does change which outcome a *stochastic* synthesizer reports for a
+repeated unitary (the first outcome is replayed instead of re-sampling), but
+every replayed outcome is a verified-equivalent circuit, so search results
+remain valid; the seeded Algorithm 1 regression pin is unaffected because its
+trace never reaches a resynthesis call.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.perf.report import CacheStats
+from repro.synthesis.resynth import (
+    EXACT_DISTANCE_FLOOR,
+    ResynthesisOutcome,
+)
+from repro.utils.linalg import COMPLEX_DTYPE, hilbert_schmidt_distance
+
+
+def permute_unitary(unitary: np.ndarray, perm: "tuple[int, ...]") -> np.ndarray:
+    """Relabel the qubits of a ``2^k x 2^k`` unitary.
+
+    ``perm`` maps new qubit positions to old ones: qubit ``i`` of the result
+    is qubit ``perm[i]`` of the input (qubit 0 is the most significant bit,
+    matching :mod:`repro.utils.linalg`).  For a circuit ``C`` this satisfies
+    ``C.remapped({perm[i]: i}).unitary() == permute_unitary(C.unitary(), perm)``.
+    """
+    k = len(perm)
+    dim = 2**k
+    unitary = np.asarray(unitary, dtype=COMPLEX_DTYPE)
+    if unitary.shape != (dim, dim):
+        raise ValueError(f"expected a {dim}x{dim} unitary for perm {perm}")
+    tensor = unitary.reshape((2,) * (2 * k))
+    axes = [perm[i] for i in range(k)] + [k + perm[i] for i in range(k)]
+    return np.transpose(tensor, axes).reshape(dim, dim)
+
+
+def _phase_normalized(unitary: np.ndarray) -> np.ndarray:
+    """Divide out the global phase, fixed by a magnitude-stable pivot entry.
+
+    The pivot is the *first* entry (row-major) whose magnitude reaches half
+    the maximum.  Unlike an argmax pivot this choice is stable under global
+    phase multiplication even when many entries tie in magnitude (ubiquitous
+    for Hadamard-like unitaries), because magnitudes only move by an ulp
+    while the half-max threshold sits far from both sides of the tie.
+    """
+    flat = unitary.ravel()
+    magnitudes = np.abs(flat)
+    peak = float(magnitudes.max(initial=0.0))
+    if peak < 1e-12:
+        return unitary
+    pivot = flat[int(np.argmax(magnitudes >= 0.5 * peak))]
+    return unitary * (np.conj(pivot) / abs(pivot))
+
+
+def canonicalize_unitary(
+    unitary: np.ndarray, decimals: int = 6
+) -> "tuple[bytes, tuple[int, ...], np.ndarray]":
+    """Canonical form of a block unitary for content addressing.
+
+    Returns ``(key, perm, canonical)`` where ``canonical`` is the exact
+    (unquantized) phase-normalized unitary in the canonical qubit frame,
+    ``perm`` is the qubit relabeling that produced it (new <- old, see
+    :func:`permute_unitary`), and ``key`` is the quantized byte string used
+    as the hash key.  Among all qubit relabelings the lexicographically
+    smallest quantized form wins, which is what makes the key insensitive to
+    how a block's qubits happened to be numbered.
+
+    Quantization only affects *bucketing*: near-boundary unitaries may land
+    in different buckets (a missed hit), never in a wrong entry, because the
+    bucket scan compares exact canonical unitaries.
+    """
+    unitary = np.asarray(unitary, dtype=COMPLEX_DTYPE)
+    dim = unitary.shape[0]
+    k = int(dim).bit_length() - 1
+    if 2**k != dim:
+        raise ValueError(f"unitary dimension {dim} is not a power of two")
+    best: "tuple[bytes, tuple[int, ...], np.ndarray] | None" = None
+    # Enumerating relabelings is k! — cheap for the <=3-qubit blocks
+    # resynthesis operates on; wider unitaries fall back to the identity
+    # relabeling so the cache still works, just without permutation folding.
+    perms = itertools.permutations(range(k)) if k <= 3 else [tuple(range(k))]
+    for perm in perms:
+        candidate = _phase_normalized(permute_unitary(unitary, perm))
+        quantized = np.round(candidate, decimals) + 0.0  # +0.0 folds -0.0 into +0.0
+        key = quantized.tobytes()
+        if best is None or key < best[0]:
+            best = (key, tuple(perm), candidate)
+    assert best is not None
+    return best
+
+
+@dataclass
+class _Entry:
+    """One cached outcome, stored in the canonical qubit frame."""
+
+    canonical: np.ndarray
+    outcome: "ResynthesisOutcome | None"
+
+
+class ResynthesisCache:
+    """Bounded, content-addressed LRU memo of resynthesis outcomes.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of entries; the least recently used bucket is evicted
+        when the bound is exceeded.
+    decimals:
+        Quantization grid of the hash key (see :func:`canonicalize_unitary`).
+    match_epsilon:
+        Elementwise absolute tolerance for two canonical unitaries to be
+        considered the same content.  Canonical forms are phase-aligned, so
+        a direct ``allclose`` comparison applies (the Hilbert–Schmidt
+        formula's ~1e-8 numerical floor would make tighter matching
+        impossible); kept well below the resynthesis verification floor so a
+        match never degrades an outcome's error.
+    cache_failures:
+        Also memoize failed synthesis attempts (``None`` outcomes), which are
+        the most expensive calls; a stochastic backend then never retries a
+        unitary it failed on while the entry lives.
+    verify_hits:
+        Re-verify every reconstructed replacement against the query unitary
+        before returning it (and re-charge its measured distance).  Cheap for
+        block-sized unitaries and makes hits sound against any residual
+        numerical drift.
+    shared:
+        Make ``copy.deepcopy`` return the cache itself instead of a private
+        cold copy.  Portfolio workers deep-copy their transformations, so a
+        shared cache is reused across all in-process (serial/threads)
+        workers; the processes backend pickles per worker, where each worker
+        keeps its own copy warm across exchange rounds instead.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 512,
+        decimals: int = 6,
+        match_epsilon: float = 1e-9,
+        cache_failures: bool = True,
+        verify_hits: bool = True,
+        shared: bool = False,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.maxsize = maxsize
+        self.decimals = decimals
+        self.match_epsilon = match_epsilon
+        self.cache_failures = cache_failures
+        self.verify_hits = verify_hits
+        self.shared = shared
+        self.token = f"resynth-cache-{uuid.uuid4().hex[:12]}"
+        self._buckets: "OrderedDict[bytes, list[_Entry]]" = OrderedDict()
+        self._count = 0
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._evictions = 0
+        self._lock = threading.Lock()
+
+    # -- core protocol -------------------------------------------------------
+
+    def canonical_key(self, unitary: np.ndarray) -> "tuple[bytes, tuple[int, ...], np.ndarray]":
+        """Precompute the canonicalization triple for ``get``/``put``.
+
+        A miss-path caller can canonicalize once and pass the triple to both
+        calls instead of paying the k!-permutation scan twice.
+        """
+        return canonicalize_unitary(unitary, self.decimals)
+
+    def get(
+        self,
+        unitary: np.ndarray,
+        epsilon: "float | None" = None,
+        key: "tuple[bytes, tuple[int, ...], np.ndarray] | None" = None,
+    ) -> "tuple[bool, ResynthesisOutcome | None]":
+        """Look up a block unitary; returns ``(hit, outcome)``.
+
+        A hit with ``outcome=None`` is a memoized synthesis *failure*.  A hit
+        with an outcome returns the cached replacement remapped into the
+        query's qubit frame, re-verified (and its epsilon re-charged) against
+        the query unitary when ``verify_hits`` is on; ``epsilon`` is the
+        caller's synthesis tolerance used for that verification.  ``key`` is
+        an optional precomputed :meth:`canonical_key` triple.
+        """
+        key, perm, canonical = self.canonical_key(unitary) if key is None else key
+        with self._lock:
+            entry = self._match(key, canonical)
+            if entry is None:
+                self._misses += 1
+                return False, None
+            if entry.outcome is None:
+                self._hits += 1
+                return True, None
+            candidate = self._to_query_frame(entry.outcome, perm)
+        if self.verify_hits:
+            verified = self._verify(unitary, candidate, epsilon)
+            if verified is None:
+                with self._lock:
+                    self._misses += 1
+                return False, None
+            candidate = verified
+        with self._lock:
+            self._hits += 1
+        return True, candidate
+
+    def put(
+        self,
+        unitary: np.ndarray,
+        outcome: "ResynthesisOutcome | None",
+        key: "tuple[bytes, tuple[int, ...], np.ndarray] | None" = None,
+    ) -> None:
+        """Memoize the outcome of resynthesizing ``unitary``."""
+        if outcome is None and not self.cache_failures:
+            return
+        key, perm, canonical = self.canonical_key(unitary) if key is None else key
+        stored = outcome
+        if outcome is not None:
+            k = len(perm)
+            mapping = {perm[i]: i for i in range(k)}
+            stored = replace(outcome, circuit=outcome.circuit.remapped(mapping, k))
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = []
+                self._buckets[key] = bucket
+            else:
+                for entry in bucket:
+                    if self._same_content(entry.canonical, canonical):
+                        entry.outcome = stored  # refresh an existing entry
+                        self._buckets.move_to_end(key)
+                        self._puts += 1
+                        return
+            bucket.append(_Entry(canonical=canonical, outcome=stored))
+            self._count += 1
+            self._puts += 1
+            self._buckets.move_to_end(key)
+            while self._count > self.maxsize and self._buckets:
+                _, evicted = self._buckets.popitem(last=False)
+                self._count -= len(evicted)
+                self._evictions += len(evicted)
+
+    # -- internals -----------------------------------------------------------
+
+    def _same_content(self, first: np.ndarray, second: np.ndarray) -> bool:
+        """Exact-content test between two canonical (phase-aligned) unitaries."""
+        return bool(np.allclose(first, second, rtol=0.0, atol=self.match_epsilon))
+
+    def _match(self, key: bytes, canonical: np.ndarray) -> "_Entry | None":
+        """Scan the hash bucket for an exact-content match (lock held)."""
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return None
+        for entry in bucket:
+            if self._same_content(entry.canonical, canonical):
+                self._buckets.move_to_end(key)
+                return entry
+        return None
+
+    @staticmethod
+    def _to_query_frame(outcome: ResynthesisOutcome, perm: "tuple[int, ...]") -> ResynthesisOutcome:
+        """Remap a canonical-frame outcome back into the query's qubit frame."""
+        k = len(perm)
+        mapping = {i: perm[i] for i in range(k)}
+        return replace(outcome, circuit=outcome.circuit.remapped(mapping, k))
+
+    @staticmethod
+    def _verify(
+        unitary: np.ndarray, candidate: ResynthesisOutcome, epsilon: "float | None"
+    ) -> "ResynthesisOutcome | None":
+        """Re-measure the replacement against the query unitary."""
+        distance = hilbert_schmidt_distance(unitary, candidate.circuit.unitary())
+        bound = max(epsilon if epsilon is not None else 0.0, EXACT_DISTANCE_FLOOR)
+        if distance > bound:
+            return None
+        charged = 0.0 if distance <= EXACT_DISTANCE_FLOOR else distance
+        return replace(candidate, distance=distance, charged_epsilon=charged)
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, unitary) -> bool:
+        key, _, canonical = canonicalize_unitary(np.asarray(unitary), self.decimals)
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if not bucket:
+                return False
+            return any(self._same_content(entry.canonical, canonical) for entry in bucket)
+
+    def stats(self) -> CacheStats:
+        """Point-in-time counter snapshot (see :class:`CacheStats`)."""
+        with self._lock:
+            negative = sum(
+                1
+                for bucket in self._buckets.values()
+                for entry in bucket
+                if entry.outcome is None
+            )
+            return CacheStats(
+                token=self.token,
+                hits=self._hits,
+                misses=self._misses,
+                puts=self._puts,
+                evictions=self._evictions,
+                entries=self._count,
+                negative_entries=negative,
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buckets.clear()
+            self._count = 0
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"<ResynthesisCache entries={stats.entries}/{self.maxsize} "
+            f"hits={stats.hits} misses={stats.misses} shared={self.shared}>"
+        )
+
+    # -- copying / shipping ----------------------------------------------------
+
+    def __deepcopy__(self, memo: dict) -> "ResynthesisCache":
+        """Shared caches deep-copy to themselves; private ones start cold.
+
+        Portfolio workers deep-copy their transformation lists to keep
+        stateful members isolated — a shared cache deliberately pierces that
+        isolation (it is thread-safe and content-addressed, so reuse across
+        workers is sound), while the default private cache gives each worker
+        its own cold memo with the same configuration.
+        """
+        if self.shared:
+            return self
+        return ResynthesisCache(
+            maxsize=self.maxsize,
+            decimals=self.decimals,
+            match_epsilon=self.match_epsilon,
+            cache_failures=self.cache_failures,
+            verify_hits=self.verify_hits,
+            shared=False,
+        )
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks do not pickle; recreated on load
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        # Pickling *forks* the cache: the copy evolves independently of the
+        # original (e.g. per-worker copies on the processes backend, even for
+        # a shared=True cache).  A fresh token keeps the fork's statistics
+        # from being deduplicated against the original's in merged reports.
+        self.token = f"resynth-cache-{uuid.uuid4().hex[:12]}"
+
+
+__all__ = [
+    "ResynthesisCache",
+    "canonicalize_unitary",
+    "permute_unitary",
+]

@@ -152,7 +152,9 @@ class CancelAdjacentSelfInverseTwoQubit(RewriteRule):
     rewrites (Figs. 3b/3c) in a single pass.
     """
 
-    def __init__(self, gate_names: Iterable[str] = ("cx", "cz"), use_commutation: bool = True) -> None:
+    def __init__(
+        self, gate_names: Iterable[str] = ("cx", "cz"), use_commutation: bool = True
+    ) -> None:
         names = sorted({name.lower() for name in gate_names})
         super().__init__("cancel_2q_pairs(" + ",".join(names) + ")")
         self.gate_names = set(names)
@@ -210,7 +212,9 @@ class MergeRotations(RewriteRule):
     _Z_AXIS = {"rz", "u1", "p", "crz", "cp", "cu1", "rzz"}
     _X_AXIS = {"rx", "rxx"}
 
-    def __init__(self, gate_names: Iterable[str] = ("rz", "u1"), use_commutation: bool = True) -> None:
+    def __init__(
+        self, gate_names: Iterable[str] = ("rz", "u1"), use_commutation: bool = True
+    ) -> None:
         names = sorted({name.lower() for name in gate_names})
         super().__init__("merge_rotations(" + ",".join(names) + ")")
         self.gate_names = set(names)
@@ -334,10 +338,14 @@ class SequencePatternRule(RewriteRule):
     directly adjacent on the wire (no interleaved gates on that qubit).
     """
 
-    def __init__(self, pattern: Sequence[str], replacement: Sequence[str], name: "str | None" = None) -> None:
+    def __init__(
+        self, pattern: Sequence[str], replacement: Sequence[str], name: "str | None" = None
+    ) -> None:
         pattern = [gate.lower() for gate in pattern]
         replacement = [gate.lower() for gate in replacement]
-        super().__init__(name or ("pattern(" + " ".join(pattern) + "->" + (" ".join(replacement) or "I") + ")"))
+        super().__init__(
+            name or ("pattern(" + " ".join(pattern) + "->" + (" ".join(replacement) or "I") + ")")
+        )
         self.pattern = pattern
         self.replacement = replacement
 

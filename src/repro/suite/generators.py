@@ -264,7 +264,9 @@ def ghz(num_qubits: int, name: "str | None" = None) -> Circuit:
     return circuit
 
 
-def _multi_controlled_phase(circuit: Circuit, theta: float, controls: list[int], target: int) -> None:
+def _multi_controlled_phase(
+    circuit: Circuit, theta: float, controls: list[int], target: int
+) -> None:
     """Phase ``theta`` on ``target`` controlled on every qubit in ``controls``.
 
     Uses the textbook ancilla-free recursive construction (controlled square
@@ -309,7 +311,12 @@ def _multi_controlled_z(circuit: Circuit, qubits: list[int]) -> None:
         _multi_controlled_phase(circuit, PI, qubits[:-1], qubits[-1])
 
 
-def grover(num_qubits: int, iterations: "int | None" = None, marked: "int | None" = None, name: "str | None" = None) -> Circuit:
+def grover(
+    num_qubits: int,
+    iterations: "int | None" = None,
+    marked: "int | None" = None,
+    name: "str | None" = None,
+) -> Circuit:
     """Grover search over ``num_qubits`` qubits with a phase-flip oracle."""
     if num_qubits < 2:
         raise ValueError("grover needs at least two qubits")
@@ -340,7 +347,9 @@ def grover(num_qubits: int, iterations: "int | None" = None, marked: "int | None
     return circuit
 
 
-def bernstein_vazirani(num_qubits: int, secret: "int | None" = None, name: "str | None" = None) -> Circuit:
+def bernstein_vazirani(
+    num_qubits: int, secret: "int | None" = None, name: "str | None" = None
+) -> Circuit:
     """Bernstein–Vazirani circuit for a hidden bit string."""
     if num_qubits < 2:
         raise ValueError("bernstein_vazirani needs at least two qubits")

@@ -62,7 +62,9 @@ def nisq_suite(scale: str = "small") -> list[BenchmarkCase]:
         cases.append(_case(f"bv_{n}", "bv", lambda n=n: gen.bernstein_vazirani(n)))
     for n, layers in sizes["qaoa"]:
         cases.append(
-            _case(f"qaoa_{n}_p{layers}", "qaoa", lambda n=n, p=layers: gen.qaoa_maxcut(n, p, seed=n))
+            _case(
+                f"qaoa_{n}_p{layers}", "qaoa", lambda n=n, p=layers: gen.qaoa_maxcut(n, p, seed=n)
+            )
         )
     for n, depth in sizes["vqe"]:
         cases.append(
@@ -79,7 +81,9 @@ def nisq_suite(scale: str = "small") -> list[BenchmarkCase]:
     for n in sizes["qft_adder"]:
         cases.append(_case(f"qft_adder_{n}", "arithmetic", lambda n=n: gen.draper_adder(n)))
     for n, steps in sizes["ising"]:
-        cases.append(_case(f"ising_{n}_s{steps}", "simulation", lambda n=n, s=steps: gen.ising_trotter(n, s)))
+        cases.append(
+            _case(f"ising_{n}_s{steps}", "simulation", lambda n=n, s=steps: gen.ising_trotter(n, s))
+        )
     for n in sizes["grover"]:
         cases.append(_case(f"grover_{n}", "grover", lambda n=n: gen.grover(n, iterations=1)))
     for n, gates in sizes["random"]:

@@ -136,7 +136,9 @@ class CliffordTSynthesizer:
                 best_circuit = candidate
         return best_circuit
 
-    def _anneal_once(self, target: np.ndarray, num_qubits: int, moves: list[_Move]) -> "Circuit | None":
+    def _anneal_once(
+        self, target: np.ndarray, num_qubits: int, moves: list[_Move]
+    ) -> "Circuit | None":
         slots: list["_Move | None"] = [None] * self.slots
         cost = self._slot_cost(slots, target, num_qubits)
         temperature = self.initial_temperature

@@ -48,13 +48,55 @@ class Resynthesizer:
     max_qubits: int = 3
     #: human-readable backend name used in transformation labels
     name: str = "resynth"
+    #: optional :class:`repro.perf.ResynthesisCache` memoizing outcomes by
+    #: canonical block unitary; attached via :meth:`attach_cache`
+    cache = None
 
-    def resynthesize(self, block: Circuit) -> "ResynthesisOutcome | None":
-        """Return a replacement for ``block`` or None when synthesis fails."""
+    def resynthesize(
+        self, block: Circuit, unitary: "np.ndarray | None" = None
+    ) -> "ResynthesisOutcome | None":
+        """Return a replacement for ``block`` or None when synthesis fails.
+
+        ``unitary`` is an optional precomputed ``block.unitary()`` so hot-path
+        callers (the cache wrapper) avoid rebuilding the dense matrix.
+        """
         raise NotImplementedError
 
-    def _verify(self, block: Circuit, candidate: Circuit) -> "ResynthesisOutcome | None":
-        distance = hilbert_schmidt_distance(block.unitary(), candidate.unitary())
+    def attach_cache(self, cache) -> "Resynthesizer":
+        """Memoize this backend's outcomes in ``cache`` (None detaches)."""
+        self.cache = cache
+        return self
+
+    def resynthesize_cached(self, block: Circuit) -> "ResynthesisOutcome | None":
+        """Resynthesize through the attached cache (the hot-path entry point).
+
+        Cache keys are canonical forms of the block unitary, so blocks that
+        agree up to global phase and qubit relabeling share one synthesis
+        call; failures are memoized too (the most expensive case).  Without a
+        cache this is exactly :meth:`resynthesize`.  The block unitary and
+        its canonical key are computed once and reused across the lookup,
+        the synthesis fallback, and the store.
+        """
+        if self.cache is None:
+            return self.resynthesize(block)
+        unitary = block.unitary()
+        key = self.cache.canonical_key(unitary)
+        hit, outcome = self.cache.get(unitary, epsilon=self.epsilon, key=key)
+        if hit:
+            return outcome
+        outcome = self.resynthesize(block, unitary=unitary)
+        self.cache.put(unitary, outcome, key=key)
+        return outcome
+
+    def _verify(
+        self,
+        block: Circuit,
+        candidate: Circuit,
+        block_unitary: "np.ndarray | None" = None,
+    ) -> "ResynthesisOutcome | None":
+        if block_unitary is None:
+            block_unitary = block.unitary()
+        distance = hilbert_schmidt_distance(block_unitary, candidate.unitary())
         if distance > max(self.epsilon, EXACT_DISTANCE_FLOOR):
             return None
         charged = 0.0 if distance <= EXACT_DISTANCE_FLOOR else distance
@@ -94,15 +136,19 @@ class NumericalResynthesizer(Resynthesizer):
         )
         self._cleanup_rules = rules_for_gate_set(gate_set)
 
-    def resynthesize(self, block: Circuit) -> "ResynthesisOutcome | None":
+    def resynthesize(
+        self, block: Circuit, unitary: "np.ndarray | None" = None
+    ) -> "ResynthesisOutcome | None":
         if block.num_qubits > self.max_qubits or block.size() == 0:
             return None
-        result = self._synthesizer.synthesize(block.unitary())
+        if unitary is None:
+            unitary = block.unitary()
+        result = self._synthesizer.synthesize(unitary)
         if result is None:
             return None
         lowered = decompose_to_gate_set(result.circuit, self.gate_set)
         lowered, _ = apply_until_fixpoint(lowered, self._cleanup_rules)
-        return self._verify(block, lowered)
+        return self._verify(block, lowered, block_unitary=unitary)
 
 
 class CliffordTResynthesizer(Resynthesizer):
@@ -133,11 +179,15 @@ class CliffordTResynthesizer(Resynthesizer):
         )
         self._cleanup_rules = rules_for_gate_set(CLIFFORD_T)
 
-    def resynthesize(self, block: Circuit) -> "ResynthesisOutcome | None":
+    def resynthesize(
+        self, block: Circuit, unitary: "np.ndarray | None" = None
+    ) -> "ResynthesisOutcome | None":
         if block.num_qubits > self.max_qubits or block.size() == 0:
             return None
-        candidate = self._synthesizer.synthesize(block.unitary())
+        if unitary is None:
+            unitary = block.unitary()
+        candidate = self._synthesizer.synthesize(unitary)
         if candidate is None:
             return None
         candidate, _ = apply_until_fixpoint(candidate, self._cleanup_rules)
-        return self._verify(block, candidate)
+        return self._verify(block, candidate, block_unitary=unitary)

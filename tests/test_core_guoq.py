@@ -1,7 +1,5 @@
 """Tests for the GUOQ algorithm, transformations, and objectives."""
 
-import math
-
 import numpy as np
 import pytest
 
@@ -24,7 +22,7 @@ from repro.core import (
     rewrite_transformations,
 )
 from repro.core.objectives import DepthCost
-from repro.gatesets import CLIFFORD_T, IBM_EAGLE, decompose_to_gate_set, get_gate_set
+from repro.gatesets import IBM_EAGLE, decompose_to_gate_set, get_gate_set
 from repro.noise import IBM_WASHINGTON_LIKE
 from repro.rewrite import rules_for_gate_set
 from repro.rewrite.rules import CancelAdjacentSelfInverseTwoQubit
@@ -169,7 +167,9 @@ class TestGuoqAlgorithm:
     def test_cost_reduction_property(self):
         circuit = redundant_circuit()
         transformations = rewrite_transformations(rules_for_gate_set(IBM_EAGLE))
-        result = guoq(circuit, transformations, TotalGateCount(), GuoqConfig(time_limit=1.0, seed=4))
+        result = guoq(
+            circuit, transformations, TotalGateCount(), GuoqConfig(time_limit=1.0, seed=4)
+        )
         assert 0.0 <= result.cost_reduction <= 1.0
 
 

@@ -9,8 +9,6 @@ dependence) so any behavioral drift in the search loop fails loudly.
 The pinned numbers were captured from the pre-refactor ``optimize`` loop.
 """
 
-import pytest
-
 from repro.circuits import Circuit, circuit_distance
 from repro.core import (
     GuoqConfig,

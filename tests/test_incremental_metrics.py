@@ -1,0 +1,142 @@
+"""Incremental circuit metrics must equal a full recount, always.
+
+``Circuit`` maintains gate-count counters on ``append`` so the search hot
+path reads metrics in O(1).  These properties pin the counters to the ground
+truth (a scan over the instruction list) across every construction path —
+direct building, copies, composition, inversion, remapping — and across
+randomized rewrite sequences, which is exactly the traffic the GUOQ loop
+generates.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit
+from repro.circuits.gates import T_LIKE_GATES
+from repro.core import GuoqConfig, GuoqOptimizer, TotalGateCount, rewrite_transformations
+from repro.gatesets import IBM_EAGLE, get_gate_set
+from repro.rewrite import rules_for_gate_set
+
+NUM_QUBITS = 4
+
+_GATE_POOL = [
+    ("h", 1, 0),
+    ("x", 1, 0),
+    ("z", 1, 0),
+    ("s", 1, 0),
+    ("sdg", 1, 0),
+    ("t", 1, 0),
+    ("tdg", 1, 0),
+    ("sx", 1, 0),
+    ("rz", 1, 1),
+    ("rx", 1, 1),
+    ("cx", 2, 0),
+    ("cz", 2, 0),
+    ("rzz", 2, 1),
+    ("swap", 2, 0),
+]
+
+
+@st.composite
+def random_circuit(draw):
+    length = draw(st.integers(min_value=0, max_value=30))
+    circuit = Circuit(NUM_QUBITS)
+    for _ in range(length):
+        gate, arity, num_params = draw(st.sampled_from(_GATE_POOL))
+        qubits = draw(
+            st.lists(
+                st.integers(0, NUM_QUBITS - 1), min_size=arity, max_size=arity, unique=True
+            )
+        )
+        params = [
+            draw(st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False))
+            for _ in range(num_params)
+        ]
+        circuit.add(gate, qubits, params)
+    return circuit
+
+
+def recount(circuit: Circuit) -> dict:
+    """Ground truth: metrics recomputed by scanning the instruction list."""
+    counts: dict[str, int] = {}
+    for inst in circuit:
+        counts[inst.gate] = counts.get(inst.gate, 0) + 1
+    return {
+        "gate_counts": counts,
+        "two_qubit": sum(1 for inst in circuit if len(inst.qubits) >= 2),
+        "t_like": sum(1 for inst in circuit if inst.gate in T_LIKE_GATES),
+        "size": sum(1 for _ in circuit),
+    }
+
+
+def assert_counters_match(circuit: Circuit) -> None:
+    truth = recount(circuit)
+    assert circuit.gate_counts() == truth["gate_counts"]
+    assert circuit.two_qubit_count() == truth["two_qubit"]
+    assert circuit.t_count() == truth["t_like"]
+    assert circuit.size() == truth["size"]
+
+
+class TestConstructionPaths:
+    @given(random_circuit())
+    @settings(max_examples=60, deadline=None)
+    def test_append_built_circuit_matches_recount(self, circuit):
+        assert_counters_match(circuit)
+
+    @given(random_circuit())
+    @settings(max_examples=30, deadline=None)
+    def test_copy_preserves_counters(self, circuit):
+        copied = circuit.copy()
+        assert_counters_match(copied)
+        # Mutating the copy must not leak into the original's counters.
+        copied.cx(0, 1)
+        assert copied.two_qubit_count() == circuit.two_qubit_count() + 1
+        assert_counters_match(circuit)
+
+    @given(random_circuit(), random_circuit())
+    @settings(max_examples=30, deadline=None)
+    def test_compose_matches_recount(self, first, second):
+        assert_counters_match(first.compose(second))
+
+    @given(random_circuit())
+    @settings(max_examples=30, deadline=None)
+    def test_inverse_matches_recount(self, circuit):
+        assert_counters_match(circuit.inverse())
+
+    @given(random_circuit())
+    @settings(max_examples=30, deadline=None)
+    def test_remapped_matches_recount(self, circuit):
+        mapping = {q: (q + 1) % NUM_QUBITS for q in range(NUM_QUBITS)}
+        assert_counters_match(circuit.remapped(mapping, NUM_QUBITS))
+
+
+class TestRewriteSequences:
+    @given(random_circuit(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_counters_survive_randomized_rewrite_passes(self, circuit, seed):
+        """Every circuit produced along a rewrite chain recounts exactly."""
+        import numpy as np
+
+        rules = rules_for_gate_set(get_gate_set("clifford+t"))
+        rng = np.random.default_rng(seed)
+        current = circuit
+        for _ in range(6):
+            rule = rules[int(rng.integers(0, len(rules)))]
+            current, _count = rule.apply_pass(current)
+            assert_counters_match(current)
+
+    def test_search_trajectory_costs_match_recount(self):
+        """The engine's tracked costs equal ground-truth recounts."""
+        circuit = Circuit(4)
+        circuit.rz(0.4, 0).rz(-0.4, 0).cx(0, 1).cx(0, 1)
+        circuit.sx(2).sx(2).rz(0.3, 1).cx(1, 2).rz(0.2, 1).cx(1, 2)
+        optimizer = GuoqOptimizer(
+            rewrite_transformations(rules_for_gate_set(IBM_EAGLE)),
+            TotalGateCount(),
+            GuoqConfig(time_limit=1e9, max_iterations=200, seed=7),
+        )
+        run = optimizer.start(circuit)
+        while run.step(25):
+            assert run.current_cost == float(recount(run.current_circuit)["size"])
+            assert_counters_match(run.current_circuit)
+            assert_counters_match(run.best_circuit)
+        assert run.best_cost == float(recount(run.best_circuit)["size"])

@@ -1,0 +1,159 @@
+"""Tests for PerfReport instrumentation and the rewrite no-fire memo."""
+
+import json
+import pickle
+
+from repro.core import GuoqConfig, GuoqOptimizer, TotalGateCount, rewrite_transformations
+from repro.gatesets import IBM_EAGLE
+from repro.parallel import PortfolioConfig, PortfolioOptimizer
+from repro.perf import CacheStats, PerfReport
+from repro.rewrite import rules_for_gate_set
+
+from dataclasses import replace
+
+from repro.circuits import Circuit
+
+
+def redundant_circuit() -> Circuit:
+    circuit = Circuit(4, name="redundant")
+    circuit.rz(0.4, 0).rz(-0.4, 0).cx(0, 1).cx(0, 1)
+    circuit.sx(2).sx(2).rz(0.3, 1).cx(1, 2).rz(0.2, 1).cx(1, 2)
+    circuit.x(0).x(0).cx(2, 3).rz(1.1, 3).cx(2, 3).sx(3).sx(3)
+    return circuit
+
+
+def transformations():
+    return rewrite_transformations(rules_for_gate_set(IBM_EAGLE))
+
+
+def config(**overrides) -> GuoqConfig:
+    base = GuoqConfig(time_limit=1e9, max_iterations=400, seed=11)
+    return replace(base, **overrides)
+
+
+class TestNoFireMemo:
+    def test_memo_is_bit_identical_to_plain_run(self):
+        plain = GuoqOptimizer(
+            transformations(), TotalGateCount(), config(memoize_rewrites=False)
+        ).optimize(redundant_circuit())
+        memoized = GuoqOptimizer(
+            transformations(), TotalGateCount(), config(memoize_rewrites=True)
+        ).optimize(redundant_circuit())
+        assert memoized.best_circuit == plain.best_circuit
+        assert memoized.best_cost == plain.best_cost
+        assert memoized.accepted == plain.accepted
+        assert memoized.rejected == plain.rejected
+        assert memoized.skipped_budget == plain.skipped_budget
+        assert memoized.applications_by_transformation == plain.applications_by_transformation
+        assert [p.cost for p in memoized.history] == [p.cost for p in plain.history]
+        assert [p.iteration for p in memoized.history] == [p.iteration for p in plain.history]
+
+    def test_memo_skips_are_counted(self):
+        result = GuoqOptimizer(transformations(), TotalGateCount(), config()).optimize(
+            redundant_circuit()
+        )
+        assert result.perf is not None
+        # After convergence every sampled rewrite re-fails on the same
+        # circuit, so a 400-iteration run must skip scans.
+        assert result.perf.rewrite_skips > 0
+
+    def test_memo_survives_pickle_round_trip(self):
+        optimizer = GuoqOptimizer(transformations(), TotalGateCount(), config())
+        straight = optimizer.start(redundant_circuit())
+        straight.step(400)
+        paused = optimizer.start(redundant_circuit())
+        paused.step(123)
+        resumed = pickle.loads(pickle.dumps(paused))
+        resumed.step(277)
+        assert resumed.best_cost == straight.best_cost
+        assert resumed.best_circuit == straight.best_circuit
+        assert resumed.perf_report().rewrite_skips == straight.perf_report().rewrite_skips
+
+    def test_memo_invalidated_by_incumbent_injection(self):
+        optimizer = GuoqOptimizer(transformations(), TotalGateCount(), config())
+        run = optimizer.start(redundant_circuit())
+        run.step(400)
+        assert run._nofire, "a converged run should have memoized no-fire rules"
+        run.inject_incumbent(Circuit(4).cx(0, 1).cx(0, 1))
+        assert not run._nofire
+
+
+class TestPerfReport:
+    def test_engine_result_carries_perf(self):
+        result = GuoqOptimizer(transformations(), TotalGateCount(), config()).optimize(
+            redundant_circuit()
+        )
+        perf = result.perf
+        assert perf is not None
+        assert perf.iterations == 400
+        assert perf.iterations_per_second > 0
+        assert set(perf.phase_seconds) == {"rewrite", "resynthesis", "cost"}
+        assert perf.phase_calls["rewrite"] > 0
+        assert perf.phase_calls["cost"] == result.accepted + result.rejected
+
+    def test_collect_perf_false_disables_instrumentation(self):
+        result = GuoqOptimizer(
+            transformations(), TotalGateCount(), config(collect_perf=False)
+        ).optimize(redundant_circuit())
+        assert result.perf is None
+
+    def test_to_dict_is_json_serializable(self):
+        result = GuoqOptimizer(transformations(), TotalGateCount(), config()).optimize(
+            redundant_circuit()
+        )
+        payload = json.dumps(result.perf.to_dict())
+        decoded = json.loads(payload)
+        assert decoded["iterations"] == 400
+        assert "cache_hit_rate" in decoded
+
+    def test_merged_dedupes_caches_by_token(self):
+        shared = CacheStats(token="shared", hits=5, misses=5)
+        shared_late = CacheStats(token="shared", hits=9, misses=6)
+        private = CacheStats(token="private", hits=1, misses=0)
+        first = PerfReport(iterations=10, elapsed=1.0, caches=[shared])
+        second = PerfReport(iterations=20, elapsed=2.0, caches=[shared_late, private])
+        merged = PerfReport.merged([first, second], elapsed=2.5)
+        assert merged.iterations == 30
+        assert merged.elapsed == 2.5
+        by_token = {stats.token: stats for stats in merged.caches}
+        assert set(by_token) == {"shared", "private"}
+        # The later (more advanced) snapshot of the shared cache wins.
+        assert by_token["shared"].hits == 9
+
+    def test_merged_sums_phases(self):
+        first = PerfReport(phase_seconds={"rewrite": 1.0}, phase_calls={"rewrite": 3})
+        second = PerfReport(phase_seconds={"rewrite": 2.0, "cost": 0.5}, phase_calls={"cost": 1})
+        merged = PerfReport.merged([first, second])
+        assert merged.phase_seconds == {"rewrite": 3.0, "cost": 0.5}
+        assert merged.phase_calls == {"rewrite": 3, "cost": 1}
+
+
+class TestPortfolioPerf:
+    def test_portfolio_result_merges_worker_perf(self):
+        config_ = PortfolioConfig(
+            search=GuoqConfig(time_limit=1e9, max_iterations=200, seed=11),
+            num_workers=3,
+            exchange_interval=50,
+            backend="serial",
+        )
+        result = PortfolioOptimizer(transformations(), TotalGateCount(), config_).optimize(
+            redundant_circuit()
+        )
+        assert result.perf is not None
+        assert result.perf.iterations == result.total_iterations
+        assert result.perf.elapsed == result.elapsed
+        assert result.perf.iterations_per_second > 0
+
+    def test_portfolio_collect_perf_false(self):
+        config_ = PortfolioConfig(
+            search=GuoqConfig(
+                time_limit=1e9, max_iterations=100, seed=11, collect_perf=False
+            ),
+            num_workers=2,
+            exchange_interval=50,
+            backend="serial",
+        )
+        result = PortfolioOptimizer(transformations(), TotalGateCount(), config_).optimize(
+            redundant_circuit()
+        )
+        assert result.perf is None

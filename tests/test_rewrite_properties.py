@@ -38,7 +38,9 @@ _GATE_SET_2Q = {
 
 
 @st.composite
-def circuit_in_gate_set(draw, gate_set_name: str, max_qubits: int = MAX_QUBITS, max_length: int = 25):
+def circuit_in_gate_set(
+    draw, gate_set_name: str, max_qubits: int = MAX_QUBITS, max_length: int = 25
+):
     num_qubits = draw(st.integers(min_value=2, max_value=max_qubits))
     length = draw(st.integers(min_value=0, max_value=max_length))
     circuit = Circuit(num_qubits, name=f"random_{gate_set_name}")

@@ -48,7 +48,9 @@ class TestGeneratorSemantics:
         circuit = qft(n, with_swaps=True)
         dim = 2**n
         omega = np.exp(2j * np.pi / dim)
-        expected = np.array([[omega ** (j * k) for k in range(dim)] for j in range(dim)]) / math.sqrt(dim)
+        expected = np.array(
+            [[omega ** (j * k) for k in range(dim)] for j in range(dim)]
+        ) / math.sqrt(dim)
         assert np.allclose(circuit.unitary(), expected, atol=1e-8)
 
     def test_ghz_statevector(self):
@@ -88,7 +90,8 @@ class TestGeneratorSemantics:
         bits = "0" + "11" + "10" + "0"  # a0=1,a1=1 (a=3 little-endian), b0=1,b1=0 (b=1)
         state = circuit.statevector(_basis_state(circuit, bits))
         outcome = format(int(np.argmax(np.abs(state) ** 2)), f"0{circuit.num_qubits}b")
-        # b register (positions 3,4 little-endian b0,b1) + carry_out should hold a+b = 4 -> b=00, carry=1
+        # b register (positions 3,4 little-endian b0,b1) + carry_out should hold
+        # a+b = 4 -> b=00, carry=1
         assert outcome[3:5] == "00" and outcome[5] == "1"
         # a register is restored
         assert outcome[1:3] == "11"
@@ -194,7 +197,9 @@ class TestNoiseModels:
     def test_fidelity_decreases_with_more_gates(self):
         small = Circuit(2).cx(0, 1)
         big = Circuit(2).cx(0, 1).cx(0, 1).cx(0, 1)
-        assert IBM_WASHINGTON_LIKE.circuit_fidelity(big) < IBM_WASHINGTON_LIKE.circuit_fidelity(small)
+        assert IBM_WASHINGTON_LIKE.circuit_fidelity(big) < IBM_WASHINGTON_LIKE.circuit_fidelity(
+            small
+        )
 
     def test_fidelity_in_unit_interval(self):
         circuit = Circuit(3).h(0).cx(0, 1).ccx(0, 1, 2)
