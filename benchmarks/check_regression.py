@@ -12,6 +12,9 @@ baseline is a trimmed snapshot of a known-good run; refresh it with::
 ``--require-cache-hits`` additionally asserts that at least one benchmark
 reported a positive ``cache_hit_rate`` in its ``extra_info`` — the
 acceptance signal that the resynthesis cache is live on the hot path.
+``--require-remote-hits`` does the same for ``cache_remote_hits``, the
+signal that *cross-process* cache sharing (the ``shm``/``server`` backends)
+is live on the processes portfolio.
 """
 
 from __future__ import annotations
@@ -51,7 +54,7 @@ def write_baseline(bench_path: Path, baseline_path: Path) -> None:
     baseline = {
         "note": (
             "Committed smoke-benchmark baseline for benchmarks/check_regression.py; "
-            "refresh with --update-baseline (see README, 'Performance layer and CI benchmarks')"
+            "refresh with --update-baseline (see docs/benchmarks.md)"
         ),
         "source": bench_path.name,
         "benchmarks": {name: {"mean": mean} for name, mean in sorted(means.items())},
@@ -65,6 +68,7 @@ def check(
     baseline_path: Path,
     threshold: float,
     require_cache_hits: bool,
+    require_remote_hits: bool = False,
     abs_slack: float = DEFAULT_ABS_SLACK,
 ) -> int:
     means, extras = load_bench_means(bench_path)
@@ -109,6 +113,21 @@ def check(
             best = max(hit_rates.values())
             print(f"CACHE    best reported cache_hit_rate: {best:.2f}")
 
+    if require_remote_hits:
+        remote_hits = {
+            name: info["cache_remote_hits"]
+            for name, info in extras.items()
+            if "cache_remote_hits" in info
+        }
+        if not any(hits > 0 for hits in remote_hits.values()):
+            failures.append(
+                "no benchmark reported positive cache_remote_hits in extra_info — "
+                f"cross-process cache sharing is not live (saw: {remote_hits or 'none'})"
+            )
+        else:
+            best = max(remote_hits.values())
+            print(f"SHARED   best reported cache_remote_hits: {best}")
+
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)
         for failure in failures:
@@ -140,6 +159,14 @@ def main(argv: "list[str] | None" = None) -> int:
         help="fail unless some benchmark reports extra_info cache_hit_rate > 0",
     )
     parser.add_argument(
+        "--require-remote-hits",
+        action="store_true",
+        help=(
+            "fail unless some benchmark reports extra_info cache_remote_hits > 0 "
+            "(the cross-process shared-cache liveness signal)"
+        ),
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help="rewrite the baseline from this BENCH json instead of checking",
@@ -154,6 +181,7 @@ def main(argv: "list[str] | None" = None) -> int:
         args.baseline,
         args.threshold,
         args.require_cache_hits,
+        require_remote_hits=args.require_remote_hits,
         abs_slack=args.abs_slack,
     )
 

@@ -369,10 +369,14 @@ class GuoqRun:
     def perf_report(self) -> PerfReport:
         """Hot-path instrumentation for the run so far (see :mod:`repro.perf`)."""
         caches = {}
+        notes: list[str] = []
         for transformation in self._optimizer.transformations:
             cache = getattr(getattr(transformation, "resynthesizer", None), "cache", None)
             if cache is not None:
                 caches[cache.token] = cache.stats()
+                for note in getattr(cache, "notes", ()):
+                    if note not in notes:
+                        notes.append(note)
         return PerfReport(
             iterations=self._iterations,
             elapsed=self._elapsed,
@@ -380,6 +384,7 @@ class GuoqRun:
             phase_calls=dict(self._phase_calls),
             rewrite_skips=self._nofire_skips,
             caches=list(caches.values()),
+            notes=notes,
         )
 
     def snapshot(self) -> GuoqResult:

@@ -42,7 +42,7 @@ def default_transformations(
     synthesis_time_budget: float = 2.0,
     max_block_qubits: int = 3,
     rng: "int | np.random.Generator | None" = None,
-    resynthesis_cache: "ResynthesisCache | bool | None" = True,
+    resynthesis_cache: "ResynthesisCache | bool | str | None" = True,
     cache_size: int = 512,
 ) -> list[Transformation]:
     """Build the default transformation set for a gate set.
@@ -54,8 +54,17 @@ def default_transformations(
     ``resynthesis_cache`` controls the hot-path memo of resynthesis outcomes
     (:class:`repro.perf.ResynthesisCache`): ``True`` (default) attaches a
     fresh private cache of ``cache_size`` entries, ``False``/``None``
-    disables caching, and an existing cache instance is attached as-is
-    (e.g. a ``shared=True`` cache reused across portfolio workers).
+    disables caching, an existing cache instance is attached as-is (e.g. a
+    ``shared=True`` cache reused across portfolio workers), and a backend
+    kind string (``"local"``/``"shm"``/``"server"``, see
+    :mod:`repro.perf.shared_cache`) builds a fresh *shared* cache on that
+    backend.  With the string form the caller still owns the lifecycle: the
+    built cache hangs off the resynthesis transformation
+    (``transformations[-1].resynthesizer.cache``) and ``"shm"``/``"server"``
+    backends hold a live process until ``cache.close()`` — prefer passing a
+    cache instance you construct (or the portfolio's
+    ``share_resynthesis_cache``, which closes what it opens) when building
+    transformation sets in a loop.
     """
     if isinstance(gate_set, str):
         gate_set = get_gate_set(gate_set)
@@ -82,6 +91,10 @@ def default_transformations(
             )
         if resynthesis_cache is True:
             resynthesis_cache = ResynthesisCache(maxsize=cache_size)
+        elif isinstance(resynthesis_cache, str):
+            resynthesis_cache = ResynthesisCache(
+                maxsize=cache_size, shared=True, backend=resynthesis_cache
+            )
         # Explicit identity checks: an *empty* cache has len() == 0 and would
         # read as falsy, yet it must still be attached.
         if resynthesis_cache is not None and resynthesis_cache is not False:

@@ -1,8 +1,9 @@
 """Parallel portfolio search on top of the step-wise GUOQ engine.
 
-See ``README.md`` ("Step-wise engine and parallel portfolio") for the
-architecture: seed derivation, the exchange protocol, backends, and how to
-add a new portfolio variant.
+See ``docs/architecture.md`` for the architecture: seed derivation, the
+exchange protocol, execution backends, and how to add a new portfolio
+variant; ``docs/caching.md`` covers sharing one resynthesis cache across
+workers (including across processes via the ``shm``/``server`` backends).
 """
 
 from repro.parallel.backends import BACKENDS, RoundExecutor

@@ -102,6 +102,9 @@ class PortfolioResult:
     worker_results: list[GuoqResult] = field(default_factory=list)
     worker_labels: list[str] = field(default_factory=list)
     worker_seeds: "list[int | None]" = field(default_factory=list)
+    #: backend kind of the shared resynthesis cache the run used
+    #: (``local``/``shm``/``server``), or None when workers kept private caches
+    shared_cache_backend: "str | None" = None
     #: hot-path instrumentation merged across workers (phase seconds and
     #: iterations sum; shared caches are deduplicated by token); ``elapsed``
     #: is the portfolio wall-clock, so ``iterations_per_second`` reports the
@@ -117,23 +120,78 @@ class PortfolioResult:
 
 
 class PortfolioOptimizer:
-    """Drive ``N`` GUOQ workers with periodic best-incumbent exchange."""
+    """Drive ``N`` GUOQ workers with periodic best-incumbent exchange.
+
+    ``share_resynthesis_cache`` selects how resynthesis outcomes are shared
+    across workers (see ``docs/caching.md`` for the backend matrix):
+
+    * ``None``/``False`` — workers keep whatever private caches their
+      transformations carry (the default).
+    * ``True`` or ``"local"`` — one in-process shared cache; reuse spans
+      serial/thread workers, while the processes backend forks private
+      copies per worker (recorded in ``result.perf.notes``).
+    * ``"shm"`` / ``"server"`` — a cross-process shared store
+      (:mod:`repro.perf.shared_cache`) the driver owns: created when
+      ``optimize`` starts and torn down when it returns.  If the platform
+      cannot bring the backend up, the run degrades to ``"local"`` and says
+      so in ``result.perf.notes``.
+    * a :class:`~repro.perf.ResynthesisCache` instance — attached as-is and
+      left alive on exit (caller-owned, e.g. to reuse one warm cache across
+      several portfolio runs).
+    """
 
     def __init__(
         self,
         transformations: list[Transformation],
         cost: "CostFunction | None" = None,
         config: "PortfolioConfig | None" = None,
+        share_resynthesis_cache: "bool | str | ResynthesisCache | None" = None,
     ) -> None:
         if not transformations:
             raise ValueError("a portfolio needs at least one transformation")
         self.transformations = list(transformations)
         self.cost = cost if cost is not None else TwoQubitGateCount()
         self.config = config if config is not None else PortfolioConfig()
+        self.share_resynthesis_cache = share_resynthesis_cache
+
+    # -- shared-cache lifecycle ----------------------------------------------
+
+    def _open_shared_cache(self) -> "tuple[ResynthesisCache | None, bool, list[str]]":
+        """Materialize ``share_resynthesis_cache``: ``(cache, owned, notes)``.
+
+        ``owned`` marks a cache this optimizer created for one run and must
+        close on exit (its server process / manager dies with the run); an
+        adopted instance stays the caller's responsibility.
+        """
+        from repro.perf.cache import ResynthesisCache
+        from repro.perf.shared_cache import SharedCacheUnavailable
+
+        spec = self.share_resynthesis_cache
+        if spec is None or spec is False:
+            return None, False, []
+        if isinstance(spec, ResynthesisCache):
+            return spec, False, [f"shared resynthesis cache backend: {spec.backend.kind}"]
+        kind = "local" if spec is True else spec
+        notes: list[str] = []
+        backend: "str | object" = "local"
+        if kind != "local":
+            try:
+                from repro.perf.shared_cache import create_backend
+
+                backend = create_backend(kind)
+            except SharedCacheUnavailable as error:
+                notes.append(
+                    f"requested {kind!r} shared cache backend unavailable "
+                    f"({error}); fell back to 'local'"
+                )
+                kind = "local"
+        cache = ResynthesisCache(shared=True, backend=backend)
+        notes.insert(0, f"shared resynthesis cache backend: {kind}")
+        return cache, True, notes
 
     # -- worker construction -------------------------------------------------
 
-    def _build_engines(self, circuit: Circuit):
+    def _build_engines(self, circuit: Circuit, shared_cache: "ResynthesisCache | None"):
         config = self.config
         base = config.search
         variants = assign_variants(config.num_workers, config.variants, config.anchor_worker)
@@ -151,6 +209,16 @@ class PortfolioOptimizer:
             # cost so stateful members (resynthesizer rngs, caches) are never
             # shared across threads and every backend sees the same streams.
             worker_transformations = copy.deepcopy(self.transformations)
+            if shared_cache is not None:
+                # Workers attach to the shared cache here, before the engine
+                # is shipped to its backend: on serial/threads every worker
+                # holds this very front end, on processes each worker's
+                # pickled copy re-attaches to the shared store (or downgrades
+                # to private, for the local backend) at fork/spawn time.
+                for transformation in worker_transformations:
+                    resynthesizer = getattr(transformation, "resynthesizer", None)
+                    if resynthesizer is not None and hasattr(resynthesizer, "attach_cache"):
+                        resynthesizer.attach_cache(shared_cache)
             worker_cost = (
                 variant.cost if variant.cost is not None else copy.deepcopy(self.cost)
             )
@@ -165,9 +233,32 @@ class PortfolioOptimizer:
 
     def optimize(self, circuit: Circuit) -> PortfolioResult:
         """Run the portfolio on ``circuit`` and merge the results."""
+        shared_cache, owns_cache, cache_notes = self._open_shared_cache()
+        try:
+            return self._optimize(circuit, shared_cache, cache_notes)
+        finally:
+            if shared_cache is not None:
+                if owns_cache:
+                    # The driver owns the backend: tear the server process /
+                    # manager down with the run it served.
+                    shared_cache.close()
+                else:
+                    try:
+                        shared_cache.flush()
+                    except Exception:
+                        # A dead adopted backend must not mask the run's real
+                        # outcome (or error) with a teardown-time failure.
+                        pass
+
+    def _optimize(
+        self,
+        circuit: Circuit,
+        shared_cache: "ResynthesisCache | None",
+        cache_notes: "list[str]",
+    ) -> PortfolioResult:
         config = self.config
         base = config.search
-        engines, labels, seeds = self._build_engines(circuit)
+        engines, labels, seeds = self._build_engines(circuit, shared_cache)
 
         incumbent_circuit = circuit
         incumbent_cost = self.cost(circuit)
@@ -240,6 +331,9 @@ class PortfolioOptimizer:
                 [result.perf for result in worker_results if result.perf is not None],
                 elapsed=elapsed,
             )
+            for note in cache_notes:
+                if note not in perf.notes:
+                    perf.notes.append(note)
         return PortfolioResult(
             best_circuit=incumbent_circuit,
             best_cost=incumbent_cost,
@@ -256,6 +350,9 @@ class PortfolioOptimizer:
             worker_results=worker_results,
             worker_labels=labels,
             worker_seeds=seeds,
+            shared_cache_backend=(
+                shared_cache.backend.kind if shared_cache is not None else None
+            ),
             perf=perf,
         )
 
@@ -274,43 +371,42 @@ def optimize_circuit_portfolio(
     include_rewrites: bool = True,
     include_resynthesis: bool = True,
     synthesis_time_budget: float = 2.0,
-    share_resynthesis_cache: bool = False,
+    share_resynthesis_cache: "bool | str" = False,
 ) -> PortfolioResult:
     """Portfolio analogue of :func:`repro.core.instantiate.optimize_circuit`.
 
-    ``share_resynthesis_cache`` attaches one ``shared=True``
-    :class:`repro.perf.ResynthesisCache` reused by every worker of the
-    in-process backends (serial/threads), so a block synthesized by one
-    worker is a cache hit for all of them.  Off by default because sharing
-    makes worker outcomes depend on sibling progress, which weakens the
-    portfolio's backend-blind determinism guarantee.  Sharing cannot cross a
-    process boundary: on the ``processes`` backend each pickled worker forks
-    its own copy (a warning is emitted), and on ``auto`` sharing only takes
-    effect if the run degrades to threads.
+    ``share_resynthesis_cache`` selects how resynthesis outcomes are reused
+    across workers: ``True``/``"local"`` shares one in-process cache across
+    serial/thread workers only, while ``"shm"`` and ``"server"`` stand up a
+    cross-process store (:mod:`repro.perf.shared_cache`) that the
+    ``processes`` backend's workers all read and write — a block synthesized
+    by one worker is a cache hit for every sibling.  Off by default because
+    sharing makes worker outcomes depend on sibling progress, which weakens
+    the portfolio's backend-blind determinism guarantee.  With in-process
+    sharing (``True``/``"local"``) on the ``processes``/``auto`` backends,
+    each pickled worker forks a private copy instead (a warning is emitted
+    and the downgrade lands in ``result.perf.notes``).
     """
     # Imported here: instantiate pulls in gatesets/noise, which the leaner
     # portfolio/baseline imports of this module do not need.
     from repro.core.instantiate import default_objective, default_transformations
     from repro.gatesets.base import get_gate_set
-    from repro.perf.cache import ResynthesisCache
 
     if isinstance(gate_set, str):
         gate_set = get_gate_set(gate_set)
     if isinstance(objective, str):
         objective = default_objective(gate_set, objective)
-    cache: "ResynthesisCache | bool" = True
-    if share_resynthesis_cache:
-        if backend in ("processes", "auto"):
-            import warnings
+    if share_resynthesis_cache in (True, "local") and backend in ("processes", "auto"):
+        import warnings
 
-            warnings.warn(
-                "share_resynthesis_cache only shares across in-process workers; "
-                f"the {backend!r} backend pickles per-worker copies, so cross-worker "
-                "reuse will not happen there (use backend='threads' or 'serial')",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        cache = ResynthesisCache(shared=True)
+        warnings.warn(
+            "share_resynthesis_cache='local' only shares across in-process workers; "
+            f"the {backend!r} backend pickles per-worker copies, so cross-worker "
+            "reuse will not happen there (use share_resynthesis_cache='shm' or "
+            "'server' for cross-process sharing)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     transformations = default_transformations(
         gate_set,
         epsilon=epsilon_budget,
@@ -318,7 +414,6 @@ def optimize_circuit_portfolio(
         include_resynthesis=include_resynthesis,
         synthesis_time_budget=synthesis_time_budget,
         rng=seed,
-        resynthesis_cache=cache,
     )
     config = PortfolioConfig(
         search=GuoqConfig(
@@ -331,9 +426,12 @@ def optimize_circuit_portfolio(
         exchange_interval=exchange_interval,
         backend=backend,
     )
-    return PortfolioOptimizer(transformations, cost=objective, config=config).optimize(
-        circuit
-    )
+    return PortfolioOptimizer(
+        transformations,
+        cost=objective,
+        config=config,
+        share_resynthesis_cache=share_resynthesis_cache or None,
+    ).optimize(circuit)
 
 
 class PortfolioBaseline(BaselineOptimizer):

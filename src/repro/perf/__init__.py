@@ -10,6 +10,10 @@ Algorithm 1 regression pin observes:
   resynthesis outcomes keyed by a canonical (global-phase- and
   qubit-permutation-normalized) form of the block unitary, with LRU bounds
   and hit/miss counters;
+* :mod:`~repro.perf.shared_cache` — pluggable cache storage backends:
+  in-process (``local``), shared-memory (``shm``), and a driver-owned cache
+  server (``server``), so the cache can be shared across portfolio workers
+  that live in separate processes;
 * :class:`~repro.perf.report.PerfReport` — per-phase wall-clock accounting,
   iteration throughput, and cache statistics, surfaced through
   ``GuoqResult.perf`` and merged across portfolio workers.
@@ -17,11 +21,27 @@ Algorithm 1 regression pin observes:
 
 from repro.perf.cache import ResynthesisCache, canonicalize_unitary, permute_unitary
 from repro.perf.report import CacheStats, PerfReport
+from repro.perf.shared_cache import (
+    BACKEND_KINDS,
+    CacheBackend,
+    LocalBackend,
+    ServerBackend,
+    SharedCacheUnavailable,
+    ShmBackend,
+    create_backend,
+)
 
 __all__ = [
+    "BACKEND_KINDS",
+    "CacheBackend",
     "CacheStats",
+    "LocalBackend",
     "PerfReport",
     "ResynthesisCache",
+    "ServerBackend",
+    "SharedCacheUnavailable",
+    "ShmBackend",
     "canonicalize_unitary",
+    "create_backend",
     "permute_unitary",
 ]

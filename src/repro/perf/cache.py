@@ -27,6 +27,13 @@ repeated unitary (the first outcome is replayed instead of re-sampling), but
 every replayed outcome is a verified-equivalent circuit, so search results
 remain valid; the seeded Algorithm 1 regression pin is unaffected because its
 trace never reaches a resynthesis call.
+
+Storage is pluggable (see :mod:`repro.perf.shared_cache` and
+``docs/caching.md``): the default ``local`` backend is a private in-process
+LRU, while the ``shm`` and ``server`` backends let portfolio workers in
+*separate processes* share one store — this front end keeps canonicalization,
+hit verification, per-worker counters, and a write-back buffer that batches
+puts to amortize IPC.
 """
 
 from __future__ import annotations
@@ -35,11 +42,18 @@ import itertools
 import threading
 import uuid
 from collections import OrderedDict
-from dataclasses import dataclass, replace
+from dataclasses import replace
 
 import numpy as np
 
 from repro.perf.report import CacheStats
+from repro.perf.shared_cache import (
+    DEFAULT_WRITE_BATCH,
+    _Entry,
+    _entries_match,
+    _merge_entry,
+    create_backend,
+)
 from repro.synthesis.resynth import (
     EXACT_DISTANCE_FLOOR,
     ResynthesisOutcome,
@@ -120,14 +134,6 @@ def canonicalize_unitary(
     return best
 
 
-@dataclass
-class _Entry:
-    """One cached outcome, stored in the canonical qubit frame."""
-
-    canonical: np.ndarray
-    outcome: "ResynthesisOutcome | None"
-
-
 class ResynthesisCache:
     """Bounded, content-addressed LRU memo of resynthesis outcomes.
 
@@ -135,7 +141,7 @@ class ResynthesisCache:
     ----------
     maxsize:
         Maximum number of entries; the least recently used bucket is evicted
-        when the bound is exceeded.
+        when the bound is exceeded (insertion-ordered on the ``shm`` backend).
     decimals:
         Quantization grid of the hash key (see :func:`canonicalize_unitary`).
     match_epsilon:
@@ -153,13 +159,29 @@ class ResynthesisCache:
         Re-verify every reconstructed replacement against the query unitary
         before returning it (and re-charge its measured distance).  Cheap for
         block-sized unitaries and makes hits sound against any residual
-        numerical drift.
+        numerical drift — and it is also what makes *shared* backends safe:
+        whatever another worker stored is re-proven against this query before
+        it is used.
     shared:
         Make ``copy.deepcopy`` return the cache itself instead of a private
         cold copy.  Portfolio workers deep-copy their transformations, so a
         shared cache is reused across all in-process (serial/threads)
-        workers; the processes backend pickles per worker, where each worker
-        keeps its own copy warm across exchange rounds instead.
+        workers.  Whether sharing survives a *process* boundary depends on
+        the backend: ``local`` pickles a private copy per worker (each keeps
+        its own copy warm; the downgrade is recorded in :attr:`notes`), while
+        ``shm``/``server`` copies keep pointing at the one shared store.
+    backend:
+        Storage backend: ``"local"`` (default), ``"shm"``, ``"server"``, or a
+        ready-made backend object from :mod:`repro.perf.shared_cache`.
+        Non-local backends require ``shared=True`` — a cross-process store
+        makes no sense for a cache documented as private.
+    write_batch_size:
+        How many pending puts the write-back buffer accumulates before
+        flushing to a shared backend in one batched ``put_many`` (amortizes
+        IPC).  The buffer also flushes whenever the cache is pickled — i.e.
+        at every exchange-round boundary on the processes backend — and on
+        :meth:`flush`/:meth:`stats`.  Ignored by the local backend, which
+        writes through.
     """
 
     def __init__(
@@ -170,22 +192,49 @@ class ResynthesisCache:
         cache_failures: bool = True,
         verify_hits: bool = True,
         shared: bool = False,
+        backend: "str | object" = "local",
+        write_batch_size: int = DEFAULT_WRITE_BATCH,
     ) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be at least 1")
+        if write_batch_size < 1:
+            raise ValueError("write_batch_size must be at least 1")
         self.maxsize = maxsize
         self.decimals = decimals
         self.match_epsilon = match_epsilon
         self.cache_failures = cache_failures
         self.verify_hits = verify_hits
         self.shared = shared
+        self.write_batch_size = write_batch_size
+        kind = backend if isinstance(backend, str) else backend.kind
+        if kind != "local" and not shared:
+            # Validate before materializing: create_backend would spawn a
+            # server/manager process with no handle left to close it.
+            raise ValueError(
+                f"the {kind!r} backend is a shared store; construct the "
+                "cache with shared=True"
+            )
+        if isinstance(backend, str):
+            backend = create_backend(backend, maxsize=maxsize, match_epsilon=match_epsilon)
+        self.backend = backend
         self.token = f"resynth-cache-{uuid.uuid4().hex[:12]}"
-        self._buckets: "OrderedDict[bytes, list[_Entry]]" = OrderedDict()
-        self._count = 0
+        #: lifecycle events worth surfacing (backend downgrades on pickling,
+        #: fallbacks); collected into ``PerfReport.notes`` by the engine
+        self.notes: list[str] = []
         self._hits = 0
         self._misses = 0
         self._puts = 0
-        self._evictions = 0
+        self._remote_hits = 0
+        #: keys this front end itself stored — a hit on any other key served
+        #: from a shared backend is a *cross-worker* (remote) hit
+        self._my_keys: "set[bytes]" = set()
+        #: read cache of recently fetched/updated buckets (shared backends
+        #: only): serves repeated hits without an IPC round trip.  Only ever
+        #: short-circuits *hits* — a content miss always re-consults the
+        #: backend, so another worker's fresh entry is never shadowed.
+        self._l1: "OrderedDict[bytes, list[_Entry]]" = OrderedDict()
+        self._l1_size = 64
+        self._write_buffer: "list[tuple[bytes, _Entry]]" = []
         self._lock = threading.Lock()
 
     # -- core protocol -------------------------------------------------------
@@ -214,15 +263,18 @@ class ResynthesisCache:
         an optional precomputed :meth:`canonical_key` triple.
         """
         key, perm, canonical = self.canonical_key(unitary) if key is None else key
-        with self._lock:
-            entry = self._match(key, canonical)
-            if entry is None:
+        entry, remote = self._lookup(key, canonical)
+        if entry is None:
+            with self._lock:
                 self._misses += 1
-                return False, None
-            if entry.outcome is None:
-                self._hits += 1
-                return True, None
-            candidate = self._to_query_frame(entry.outcome, perm)
+            return False, None
+        # Single read: a concurrent put() may refresh entry.outcome in place
+        # (thread-shared caches), so branch and remap from one snapshot.
+        outcome = entry.outcome
+        if outcome is None:
+            self._count_hit(remote)
+            return True, None
+        candidate = self._to_query_frame(outcome, perm)
         if self.verify_hits:
             verified = self._verify(unitary, candidate, epsilon)
             if verified is None:
@@ -230,8 +282,7 @@ class ResynthesisCache:
                     self._misses += 1
                 return False, None
             candidate = verified
-        with self._lock:
-            self._hits += 1
+        self._count_hit(remote)
         return True, candidate
 
     def put(
@@ -249,43 +300,86 @@ class ResynthesisCache:
             k = len(perm)
             mapping = {perm[i]: i for i in range(k)}
             stored = replace(outcome, circuit=outcome.circuit.remapped(mapping, k))
+        entry = _Entry(canonical=canonical, outcome=stored)
+        if self.backend.kind == "local":
+            self.backend.put_many([(key, entry)])
+            with self._lock:
+                self._puts += 1
+            return
+        flush: "list[tuple[bytes, _Entry]] | None" = None
         with self._lock:
-            bucket = self._buckets.get(key)
-            if bucket is None:
-                bucket = []
-                self._buckets[key] = bucket
-            else:
-                for entry in bucket:
-                    if self._same_content(entry.canonical, canonical):
-                        entry.outcome = stored  # refresh an existing entry
-                        self._buckets.move_to_end(key)
-                        self._puts += 1
-                        return
-            bucket.append(_Entry(canonical=canonical, outcome=stored))
-            self._count += 1
+            bucket = self._l1.setdefault(key, [])
+            _merge_entry(bucket, entry, self.match_epsilon)
+            self._l1_touch(key)
+            self._my_keys.add(key)
+            self._write_buffer.append((key, entry))
             self._puts += 1
-            self._buckets.move_to_end(key)
-            while self._count > self.maxsize and self._buckets:
-                _, evicted = self._buckets.popitem(last=False)
-                self._count -= len(evicted)
-                self._evictions += len(evicted)
+            if len(self._write_buffer) >= self.write_batch_size:
+                flush = self._write_buffer
+                self._write_buffer = []
+        if flush:
+            self.backend.put_many(flush)
+
+    def flush(self) -> None:
+        """Push any buffered puts to the backend (no-op for local storage)."""
+        with self._lock:
+            pending, self._write_buffer = self._write_buffer, []
+        if pending:
+            self.backend.put_many(pending)
 
     # -- internals -----------------------------------------------------------
 
-    def _same_content(self, first: np.ndarray, second: np.ndarray) -> bool:
-        """Exact-content test between two canonical (phase-aligned) unitaries."""
-        return bool(np.allclose(first, second, rtol=0.0, atol=self.match_epsilon))
+    def _lookup(self, key: bytes, canonical: np.ndarray) -> "tuple[_Entry | None, bool]":
+        """Find the matching entry; returns ``(entry, served_remotely)``.
 
-    def _match(self, key: bytes, canonical: np.ndarray) -> "_Entry | None":
-        """Scan the hash bucket for an exact-content match (lock held)."""
-        bucket = self._buckets.get(key)
-        if not bucket:
-            return None
-        for entry in bucket:
-            if self._same_content(entry.canonical, canonical):
-                self._buckets.move_to_end(key)
-                return entry
-        return None
+        Local backend: a straight store match.  Shared backends: the L1 read
+        cache is consulted first; on an L1 content miss the bucket is fetched
+        from the shared store (one batched IPC round trip) and re-scanned, so
+        entries inserted by sibling workers are found.  A match on a key this
+        front end never stored is counted as a remote (cross-worker) hit.
+        """
+        if self.backend.kind == "local":
+            return self.backend.match(key, canonical), False
+        with self._lock:
+            bucket = self._l1.get(key)
+            if bucket is not None:
+                for entry in bucket:
+                    if _entries_match(entry.canonical, canonical, self.match_epsilon):
+                        self._l1_touch(key)
+                        return entry, key not in self._my_keys
+        fetched = self.backend.get_many([key]).get(key)
+        if not fetched:
+            return None, False
+        with self._lock:
+            bucket = self._l1.get(key)
+            if bucket is None:
+                bucket = list(fetched)
+                self._l1[key] = bucket
+            else:
+                # Merge, never replace: the existing L1 bucket may hold this
+                # worker's own puts that are still in the write buffer, and a
+                # wholesale replacement would discard them — making the worker
+                # re-synthesize a result it already paid for.
+                for entry in fetched:
+                    _merge_entry(bucket, entry, self.match_epsilon)
+            self._l1_touch(key)
+            scan = list(bucket)
+        for entry in scan:
+            if _entries_match(entry.canonical, canonical, self.match_epsilon):
+                return entry, key not in self._my_keys
+        return None, False
+
+    def _l1_touch(self, key: bytes) -> None:
+        """LRU-refresh ``key`` in the read cache and bound its size (lock held)."""
+        self._l1.move_to_end(key)
+        while len(self._l1) > self._l1_size:
+            self._l1.popitem(last=False)
+
+    def _count_hit(self, remote: bool) -> None:
+        with self._lock:
+            self._hits += 1
+            if remote:
+                self._remote_hits += 1
 
     @staticmethod
     def _to_query_frame(outcome: ResynthesisOutcome, perm: "tuple[int, ...]") -> ResynthesisOutcome:
@@ -309,44 +403,75 @@ class ResynthesisCache:
     # -- introspection ---------------------------------------------------------
 
     def __len__(self) -> int:
-        return self._count
+        if self.backend.kind != "local":
+            self.flush()  # buffered puts must count, as they do in __contains__
+        return len(self.backend)
 
     def __contains__(self, unitary) -> bool:
         key, _, canonical = canonicalize_unitary(np.asarray(unitary), self.decimals)
-        with self._lock:
-            bucket = self._buckets.get(key)
-            if not bucket:
-                return False
-            return any(self._same_content(entry.canonical, canonical) for entry in bucket)
+        if self.backend.kind == "local":
+            return self.backend.peek(key, canonical)
+        self.flush()
+        bucket = self.backend.get_many([key]).get(key)
+        if not bucket:
+            return False
+        return any(
+            _entries_match(entry.canonical, canonical, self.match_epsilon)
+            for entry in bucket
+        )
 
     def stats(self) -> CacheStats:
-        """Point-in-time counter snapshot (see :class:`CacheStats`)."""
+        """Point-in-time counter snapshot (see :class:`CacheStats`).
+
+        Hit/miss/put counters are this front end's own; storage-level numbers
+        (entries, evictions, negative entries) come from the backend — for a
+        shared backend they describe the store *all* workers feed.  Shared
+        backends are flushed first so the snapshot covers buffered puts; if
+        the shared store is unreachable (e.g. already torn down), the
+        snapshot degrades to the local counters instead of raising.
+        """
+        try:
+            if self.backend.kind != "local":
+                self.flush()
+            storage = self.backend.stats()
+        except Exception:
+            storage = {}
         with self._lock:
-            negative = sum(
-                1
-                for bucket in self._buckets.values()
-                for entry in bucket
-                if entry.outcome is None
-            )
             return CacheStats(
                 token=self.token,
+                backend=self.backend.kind,
                 hits=self._hits,
                 misses=self._misses,
+                remote_hits=self._remote_hits,
                 puts=self._puts,
-                evictions=self._evictions,
-                entries=self._count,
-                negative_entries=negative,
+                evictions=int(storage.get("evictions", 0)),
+                entries=int(storage.get("entries", 0)),
+                negative_entries=int(storage.get("negative_entries", 0)),
             )
 
     def clear(self) -> None:
         with self._lock:
-            self._buckets.clear()
-            self._count = 0
+            self._l1.clear()
+            self._write_buffer.clear()
+        self.backend.clear()
+
+    def close(self) -> None:
+        """Flush buffered puts and release backend resources.
+
+        For the owning process of a ``server``/``shm`` backend this tears the
+        shared store down; worker-side copies merely drop their connection.
+        """
+        try:
+            self.flush()
+        except Exception:
+            pass  # a dead backend cannot accept the final flush
+        self.backend.close()
 
     def __repr__(self) -> str:
         stats = self.stats()
         return (
-            f"<ResynthesisCache entries={stats.entries}/{self.maxsize} "
+            f"<ResynthesisCache backend={self.backend.kind} "
+            f"entries={stats.entries}/{self.maxsize} "
             f"hits={stats.hits} misses={stats.misses} shared={self.shared}>"
         )
 
@@ -373,18 +498,35 @@ class ResynthesisCache:
         )
 
     def __getstate__(self) -> dict:
+        if self.backend.kind != "local":
+            # Crossing a process boundary: everything buffered must reach the
+            # shared store first (this is also what publishes a worker's last
+            # puts at each exchange-round boundary), and the L1 read cache is
+            # not shipped — the copy refetches from the shared store.
+            self.flush()
         state = self.__dict__.copy()
         del state["_lock"]  # locks do not pickle; recreated on load
+        state["_l1"] = OrderedDict()
+        state["_write_buffer"] = []
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._lock = threading.Lock()
-        # Pickling *forks* the cache: the copy evolves independently of the
-        # original (e.g. per-worker copies on the processes backend, even for
-        # a shared=True cache).  A fresh token keeps the fork's statistics
-        # from being deduplicated against the original's in merged reports.
+        # Pickling *forks* the front end: the copy evolves independently of
+        # the original (e.g. per-worker copies on the processes backend).  A
+        # fresh token keeps the fork's statistics from being deduplicated
+        # against the original's in merged reports.  With a shared backend
+        # the fork still reads and writes the one shared store; with the
+        # local backend a shared=True cache silently became private — record
+        # the downgrade so it surfaces in ``PerfReport.notes`` instead.
         self.token = f"resynth-cache-{uuid.uuid4().hex[:12]}"
+        if self.shared and self.backend.kind == "local":
+            self.notes = list(self.notes) + [
+                "shared resynthesis cache crossed a process boundary with the "
+                "'local' backend: this copy downgraded to a private in-process "
+                "cache (use backend='shm' or 'server' for cross-process sharing)"
+            ]
 
 
 __all__ = [

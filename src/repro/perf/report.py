@@ -23,8 +23,14 @@ class CacheStats:
     """
 
     token: str = ""
+    #: storage backend kind the cache front end was using: ``local``, ``shm``,
+    #: or ``server`` (see :mod:`repro.perf.shared_cache`)
+    backend: str = "local"
     hits: int = 0
     misses: int = 0
+    #: hits served from a *shared* backend on keys another worker inserted —
+    #: the cross-process reuse signal (always 0 for the local backend)
+    remote_hits: int = 0
     puts: int = 0
     evictions: int = 0
     entries: int = 0
@@ -43,8 +49,10 @@ class CacheStats:
     def to_dict(self) -> dict:
         return {
             "token": self.token,
+            "backend": self.backend,
             "hits": self.hits,
             "misses": self.misses,
+            "remote_hits": self.remote_hits,
             "hit_rate": self.hit_rate,
             "puts": self.puts,
             "evictions": self.evictions,
@@ -69,6 +77,9 @@ class PerfReport:
     phase_calls: dict[str, int] = field(default_factory=dict)
     rewrite_skips: int = 0
     caches: list[CacheStats] = field(default_factory=list)
+    #: human-readable lifecycle events worth surfacing in reports: shared
+    #: cache backend selections, fallbacks, and fork-time downgrades
+    notes: list[str] = field(default_factory=list)
 
     @property
     def iterations_per_second(self) -> float:
@@ -88,6 +99,11 @@ class PerfReport:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
+    @property
+    def cache_remote_hits(self) -> int:
+        """Hits on entries another worker inserted into a shared backend."""
+        return sum(stats.remote_hits for stats in self.caches)
+
     def to_dict(self) -> dict:
         """JSON-serializable form, the shape embedded in ``BENCH_*.json``."""
         return {
@@ -100,7 +116,9 @@ class PerfReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
+            "cache_remote_hits": self.cache_remote_hits,
             "caches": [stats.to_dict() for stats in self.caches],
+            "notes": list(self.notes),
         }
 
     @staticmethod
@@ -129,6 +147,9 @@ class PerfReport:
                 known = latest.get(stats.token)
                 if known is None or stats.lookups >= known.lookups:
                     latest[stats.token] = stats
+            for note in report.notes:
+                if note not in merged.notes:
+                    merged.notes.append(note)
         merged.caches = list(latest.values())
         if elapsed is not None:
             merged.elapsed = elapsed

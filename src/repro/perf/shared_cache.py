@@ -1,0 +1,641 @@
+"""Cache storage backends: in-process, shared-memory, and cache-server.
+
+:class:`~repro.perf.cache.ResynthesisCache` is split into a *front end* (key
+canonicalization, hit verification, per-worker counters — always private to a
+worker) and a pluggable *backend* holding the actual ``key -> bucket`` store.
+Three backends cover the portfolio's execution modes:
+
+* ``local`` (:class:`LocalBackend`) — the plain in-process ``OrderedDict``
+  LRU used since PR 2.  Shareable across serial/thread workers only; a copy
+  that crosses a process boundary becomes private.
+* ``shm`` (:class:`ShmBackend`) — a ``multiprocessing.Manager`` dict fronted
+  by a small lock-striped index, so ``processes``-backend portfolio workers
+  read and write one shared store.  Mutations take a per-stripe lock
+  (read-modify-write of one bucket); reads are lock-free proxy lookups.
+* ``server`` (:class:`ServerBackend`) — a dedicated cache process owned by
+  the portfolio driver, speaking the length-prefixed pickle protocol of
+  ``multiprocessing.connection`` over a ``Listener`` socket.  Workers connect
+  lazily (once per process, at fork/spawn attach time) and batch get/put
+  round trips; the server serializes all mutations through one
+  :class:`_BucketStore`, which keeps true LRU order — the trade against
+  ``shm`` is one IPC hop per lookup versus manager-proxy traffic per bucket.
+
+All backends implement the same small protocol (:class:`CacheBackend`):
+``get_many`` / ``put_many`` at bucket granularity (the unit the front end
+batches), plus ``stats``/``clear``/``close`` and a ``kind`` tag.  Entries are
+:class:`_Entry` records in the *canonical* qubit frame, so a bucket fetched
+by any worker can serve any query that canonicalizes to its key.
+
+Backends that reach shared state (``shm``/``server``) may be unavailable on
+restricted platforms (no subprocesses, no sockets); :func:`create_backend`
+raises :class:`SharedCacheUnavailable` so callers can degrade to ``local``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import secrets
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing.connection import Client, Listener
+from typing import Protocol
+
+import numpy as np
+
+from repro.synthesis.resynth import ResynthesisOutcome
+
+BACKEND_KINDS = ("local", "shm", "server")
+
+#: how many pending puts a front end accumulates before flushing to a shared
+#: backend (amortizes IPC; see ``ResynthesisCache.write_batch_size``)
+DEFAULT_WRITE_BATCH = 8
+
+
+class SharedCacheUnavailable(RuntimeError):
+    """A shared backend could not be brought up on this platform."""
+
+
+class CacheBackend(Protocol):
+    """What the :class:`~repro.perf.cache.ResynthesisCache` front end needs.
+
+    Bucket-granular batched transfers (``get_many``/``put_many``) are the
+    whole data plane — the front end batches around them, so a backend only
+    ever pays one round trip per batch.  A future distributed cache
+    implements exactly this protocol (the ``server`` backend's wire protocol
+    is the template).
+    """
+
+    #: backend kind tag: ``"local"``, ``"shm"``, ``"server"``, ...
+    kind: str
+    #: whether copies that cross a process boundary still reach this store
+    shared_across_processes: bool
+
+    def get_many(self, keys: "list[bytes]") -> "dict[bytes, list[_Entry]]":
+        """Fetch the buckets stored under ``keys`` (absent keys omitted)."""
+        ...
+
+    def put_many(self, items: "list[tuple[bytes, _Entry]]") -> None:
+        """Merge entries into their buckets (refresh-or-append), evicting."""
+        ...
+
+    def stats(self) -> dict:
+        """Storage counters: ``entries``/``puts``/``evictions``/``negative_entries``."""
+        ...
+
+    def clear(self) -> None:
+        """Drop every bucket."""
+        ...
+
+    def close(self) -> None:
+        """Release whatever the backend holds (processes, sockets, nothing)."""
+        ...
+
+    def __len__(self) -> int:
+        """Total entry count currently stored."""
+        ...
+
+
+@dataclass
+class _Entry:
+    """One cached outcome, stored in the canonical qubit frame."""
+
+    canonical: np.ndarray
+    outcome: "ResynthesisOutcome | None"
+
+
+def _entries_match(first: np.ndarray, second: np.ndarray, epsilon: float) -> bool:
+    """Exact-content test between two canonical (phase-aligned) unitaries."""
+    return bool(np.allclose(first, second, rtol=0.0, atol=epsilon))
+
+
+def _merge_entry(bucket: "list[_Entry]", entry: _Entry, epsilon: float) -> bool:
+    """Refresh a content-matching entry in ``bucket`` or append a new one.
+
+    Returns True when the entry was appended (the bucket grew).
+    """
+    for existing in bucket:
+        if _entries_match(existing.canonical, entry.canonical, epsilon):
+            existing.outcome = entry.outcome
+            return False
+    bucket.append(entry)
+    return True
+
+
+class _BucketStore:
+    """Thread-safe LRU bucket store: the storage half of the PR 2 cache.
+
+    Holds ``key -> [entries]`` buckets in an ``OrderedDict`` whose order is
+    recency (a matched or refreshed key moves to the back; eviction pops the
+    front).  ``maxsize`` bounds the total entry count, not the bucket count.
+    This is both the ``local`` backend's store and the server process's
+    store, so local and server caches share one eviction policy bit for bit.
+    """
+
+    def __init__(self, maxsize: int = 512, match_epsilon: float = 1e-9) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.maxsize = maxsize
+        self.match_epsilon = match_epsilon
+        self._buckets: "OrderedDict[bytes, list[_Entry]]" = OrderedDict()
+        self._count = 0
+        self._puts = 0
+        self._evictions = 0
+        self._lock = threading.Lock()
+
+    # -- reads ---------------------------------------------------------------
+
+    def match(self, key: bytes, canonical: np.ndarray) -> "_Entry | None":
+        """Find the entry with ``canonical`` content under ``key`` (LRU touch)."""
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if not bucket:
+                return None
+            for entry in bucket:
+                if _entries_match(entry.canonical, canonical, self.match_epsilon):
+                    self._buckets.move_to_end(key)
+                    return entry
+            return None
+
+    def peek(self, key: bytes, canonical: np.ndarray) -> bool:
+        """Containment test without touching LRU order or counters."""
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if not bucket:
+                return False
+            return any(
+                _entries_match(entry.canonical, canonical, self.match_epsilon)
+                for entry in bucket
+            )
+
+    def get_many(self, keys: "list[bytes]") -> "dict[bytes, list[_Entry]]":
+        """Fetch the buckets for ``keys`` (LRU touch on each present key)."""
+        found: "dict[bytes, list[_Entry]]" = {}
+        with self._lock:
+            for key in keys:
+                bucket = self._buckets.get(key)
+                if bucket:
+                    self._buckets.move_to_end(key)
+                    found[key] = list(bucket)
+        return found
+
+    # -- writes --------------------------------------------------------------
+
+    def put_many(self, items: "list[tuple[bytes, _Entry]]") -> None:
+        with self._lock:
+            for key, entry in items:
+                bucket = self._buckets.get(key)
+                if bucket is None:
+                    bucket = []
+                    self._buckets[key] = bucket
+                if _merge_entry(bucket, entry, self.match_epsilon):
+                    self._count += 1
+                self._puts += 1
+                self._buckets.move_to_end(key)
+            while self._count > self.maxsize and self._buckets:
+                _, evicted = self._buckets.popitem(last=False)
+                self._count -= len(evicted)
+                self._evictions += len(evicted)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            negative = sum(
+                1
+                for bucket in self._buckets.values()
+                for entry in bucket
+                if entry.outcome is None
+            )
+            return {
+                "entries": self._count,
+                "puts": self._puts,
+                "evictions": self._evictions,
+                "negative_entries": negative,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buckets.clear()
+            self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- pickling (private local copies travel with their entries) -----------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+class LocalBackend(_BucketStore):
+    """The in-process backend: a :class:`_BucketStore` with the protocol tag.
+
+    Not shareable across processes — a pickled copy is an independent store
+    (the front end records the downgrade when that happens to a shared
+    cache).
+    """
+
+    kind = "local"
+    shared_across_processes = False
+
+    def close(self) -> None:
+        """Nothing to tear down for an in-process store."""
+
+
+class ShmBackend:
+    """Shared-memory backend: a Manager dict with a lock-striped index.
+
+    The manager process owns ``key -> bucket`` state; every portfolio worker
+    holds picklable proxies to the same dict.  Writes do a read-modify-write
+    of one bucket under the key's stripe lock (``stripes`` of them, so
+    workers writing different keys rarely contend); reads are single proxy
+    lookups and take no lock — a torn read is impossible because bucket
+    values are replaced wholesale, never mutated in place.
+
+    Eviction is insertion-ordered (FIFO over buckets) rather than true LRU:
+    per-lookup recency updates would turn every read into a write against the
+    manager, which is exactly the contention a striped shared cache is meant
+    to avoid.  The entry count bounding eviction is tracked under a dedicated
+    counter lock and is exact with respect to completed puts.
+    """
+
+    kind = "shm"
+    shared_across_processes = True
+
+    def __init__(
+        self,
+        maxsize: int = 512,
+        match_epsilon: float = 1e-9,
+        stripes: int = 8,
+        manager=None,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        if stripes < 1:
+            raise ValueError("stripes must be at least 1")
+        self.maxsize = maxsize
+        self.match_epsilon = match_epsilon
+        if manager is None:
+            import multiprocessing
+
+            manager = multiprocessing.Manager()
+            self._manager = manager  # owned: shut down in close()
+        else:
+            self._manager = None
+        self._buckets = manager.dict()
+        self._locks = [manager.Lock() for _ in range(stripes)]
+        self._counter_lock = manager.Lock()
+        self._counters = manager.dict(entries=0, puts=0, evictions=0, negative_entries=0)
+
+    def _stripe(self, key: bytes) -> "threading.Lock":
+        # crc32, not hash(): the builtin hash of bytes is salted per process,
+        # so workers would disagree about which lock guards a key and the
+        # same-key read-modify-write serialization would silently break.
+        return self._locks[zlib.crc32(key) % len(self._locks)]
+
+    # -- protocol ------------------------------------------------------------
+
+    def get_many(self, keys: "list[bytes]") -> "dict[bytes, list[_Entry]]":
+        found: "dict[bytes, list[_Entry]]" = {}
+        for key in keys:
+            blob = self._buckets.get(key)
+            if blob is not None:
+                found[key] = pickle.loads(blob)
+        return found
+
+    def put_many(self, items: "list[tuple[bytes, _Entry]]") -> None:
+        appended = 0
+        puts = 0
+        negative = 0
+        for key, entry in items:
+            with self._stripe(key):
+                blob = self._buckets.get(key)
+                bucket = pickle.loads(blob) if blob is not None else []
+                # Delta the negative count around the merge: a refresh can
+                # flip an entry between failure and success, not just append.
+                before_negative = sum(1 for stored in bucket if stored.outcome is None)
+                grew = _merge_entry(bucket, entry, self.match_epsilon)
+                negative += (
+                    sum(1 for stored in bucket if stored.outcome is None) - before_negative
+                )
+                self._buckets[key] = pickle.dumps(bucket)
+            puts += 1
+            if grew:
+                appended += 1
+        with self._counter_lock:
+            self._counters["puts"] = self._counters["puts"] + puts
+            entries = self._counters["entries"] + appended
+            self._counters["entries"] = entries
+            self._counters["negative_entries"] = max(
+                0, self._counters["negative_entries"] + negative
+            )
+        if entries > self.maxsize:
+            self._evict(entries - self.maxsize)
+
+    def _evict(self, excess: int) -> None:
+        """Drop oldest-inserted buckets until ``excess`` entries are gone."""
+        dropped = 0
+        negative_dropped = 0
+        while dropped < excess:
+            try:
+                victim = next(iter(self._buckets.keys()))
+            except StopIteration:
+                break
+            with self._stripe(victim):
+                blob = self._buckets.pop(victim, None)
+            if blob is None:
+                continue
+            bucket = pickle.loads(blob)
+            dropped += len(bucket)
+            negative_dropped += sum(1 for entry in bucket if entry.outcome is None)
+        if dropped:
+            with self._counter_lock:
+                self._counters["entries"] = max(0, self._counters["entries"] - dropped)
+                self._counters["evictions"] = self._counters["evictions"] + dropped
+                self._counters["negative_entries"] = max(
+                    0, self._counters["negative_entries"] - negative_dropped
+                )
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        return dict(self._counters)
+
+    def clear(self) -> None:
+        with self._counter_lock:
+            self._buckets.clear()
+            self._counters.update(entries=0, negative_entries=0)
+
+    def __len__(self) -> int:
+        return int(self._counters["entries"])
+
+    def close(self) -> None:
+        """Shut the manager down (only the creating process owns it)."""
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+
+    # -- pickling (workers receive proxy handles, never the manager) ---------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_manager"] = None
+        return state
+
+
+# --------------------------------------------------------------------------
+# Cache server: a dedicated process speaking length-prefixed pickle messages.
+# --------------------------------------------------------------------------
+
+#: module-level client connection reuse: one connection (plus its I/O lock)
+#: per (address, authkey) per process, so a worker that receives many pickled
+#: ``ServerBackend`` handles (one per exchange round) dials the server once
+_CONNECTIONS: dict = {}
+_CONNECTIONS_GUARD = threading.Lock()
+
+
+def _serve_client(connection, store: _BucketStore, stop: threading.Event) -> None:
+    """Handle one worker connection until it disconnects (server side)."""
+    try:
+        while not stop.is_set():
+            try:
+                op, payload = connection.recv()
+            except (EOFError, OSError):
+                return
+            try:
+                if op == "get_many":
+                    reply = store.get_many(payload)
+                elif op == "put_many":
+                    store.put_many(payload)
+                    reply = len(payload)
+                elif op == "stats":
+                    reply = store.stats()
+                elif op == "len":
+                    reply = len(store)
+                elif op == "clear":
+                    store.clear()
+                    reply = None
+                elif op == "ping":
+                    reply = "pong"
+                elif op == "shutdown":
+                    stop.set()
+                    connection.send((True, None))
+                    return
+                else:
+                    connection.send((False, f"unknown op {op!r}"))
+                    continue
+                connection.send((True, reply))
+            except Exception as error:  # noqa: BLE001 - reported to the client
+                connection.send((False, repr(error)))
+    finally:
+        connection.close()
+
+
+def _serve_cache(bootstrap, authkey: bytes, maxsize: int, match_epsilon: float) -> None:
+    """Cache-server process entry point (spawn-safe: module level, plain args).
+
+    Binds a ``Listener`` (the OS picks the address), reports the address back
+    through the ``bootstrap`` pipe, then accepts worker connections until one
+    of them sends ``shutdown``.  Every connection is served by a daemon
+    thread against one shared :class:`_BucketStore`.
+    """
+    store = _BucketStore(maxsize=maxsize, match_epsilon=match_epsilon)
+    stop = threading.Event()
+    with Listener(address=None, authkey=bytes(authkey)) as listener:
+        bootstrap.send(listener.address)
+        bootstrap.close()
+        while not stop.is_set():
+            try:
+                connection = listener.accept()
+            except Exception:
+                if stop.is_set():
+                    break
+                continue
+            threading.Thread(
+                target=_serve_client, args=(connection, store, stop), daemon=True
+            ).start()
+            # ``accept`` only returns when a client dials in, so the loop
+            # re-checks ``stop`` exactly when the shutdown request's extra
+            # wake-up connection (below) arrives.
+
+
+class ServerBackend:
+    """Client handle to a cache-server process (plus ownership, if creator).
+
+    The wire protocol is ``multiprocessing.connection``'s native framing —
+    each message is a pickle preceded by its byte length — carrying
+    ``(op, payload)`` requests and ``(ok, result)`` replies.  Handles pickle
+    down to ``(address, authkey)``; an unpickled copy redials the server on
+    first use in its process (connections are cached per process, so the
+    per-round engine pickling of the processes backend reuses one socket).
+    """
+
+    kind = "server"
+    shared_across_processes = True
+
+    def __init__(self, address, authkey: bytes, process=None, maxsize: int = 512) -> None:
+        self.address = address
+        self.authkey = bytes(authkey)
+        self.maxsize = maxsize
+        self._process = process  # owned by the creating (driver) process
+
+    @classmethod
+    def start(
+        cls,
+        maxsize: int = 512,
+        match_epsilon: float = 1e-9,
+        start_timeout: float = 30.0,
+    ) -> "ServerBackend":
+        """Launch the server process and return the owning client handle."""
+        import multiprocessing
+
+        authkey = secrets.token_bytes(16)
+        context = multiprocessing.get_context()
+        bootstrap_recv, bootstrap_send = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_serve_cache,
+            args=(bootstrap_send, authkey, maxsize, match_epsilon),
+            daemon=True,
+            name="resynth-cache-server",
+        )
+        process.start()
+        bootstrap_send.close()
+        if not bootstrap_recv.poll(start_timeout):
+            process.terminate()
+            raise SharedCacheUnavailable("cache server did not report an address in time")
+        address = bootstrap_recv.recv()
+        bootstrap_recv.close()
+        return cls(address, authkey, process=process, maxsize=maxsize)
+
+    # -- wire ----------------------------------------------------------------
+
+    def _channel(self):
+        connection_key = (self.address, self.authkey)
+        with _CONNECTIONS_GUARD:
+            channel = _CONNECTIONS.get(connection_key)
+            if channel is None:
+                connection = Client(self.address, authkey=self.authkey)
+                channel = (connection, threading.Lock())
+                _CONNECTIONS[connection_key] = channel
+        return channel
+
+    def _request(self, op: str, payload=None):
+        connection, io_lock = self._channel()
+        with io_lock:
+            connection.send((op, payload))
+            ok, result = connection.recv()
+        if not ok:
+            raise RuntimeError(f"cache server rejected {op!r}: {result}")
+        return result
+
+    # -- protocol ------------------------------------------------------------
+
+    def get_many(self, keys: "list[bytes]") -> "dict[bytes, list[_Entry]]":
+        return self._request("get_many", keys)
+
+    def put_many(self, items: "list[tuple[bytes, _Entry]]") -> None:
+        self._request("put_many", items)
+
+    def stats(self) -> dict:
+        return self._request("stats")
+
+    def clear(self) -> None:
+        self._request("clear")
+
+    def __len__(self) -> int:
+        return int(self._request("len"))
+
+    def ping(self) -> bool:
+        return self._request("ping") == "pong"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    def close(self) -> None:
+        """Tear the server down (owner) or just drop this process's socket."""
+        connection_key = (self.address, self.authkey)
+        if self._process is not None:
+            try:
+                self._request("shutdown")
+                # The accept loop needs one extra wake-up to observe stop.
+                try:
+                    Client(self.address, authkey=self.authkey).close()
+                except OSError:
+                    pass
+            except (OSError, EOFError, RuntimeError):
+                pass  # server already gone
+            self._process.join(timeout=10.0)
+            if self._process.is_alive():
+                self._process.terminate()
+                self._process.join(timeout=5.0)
+            self._process = None
+        with _CONNECTIONS_GUARD:
+            channel = _CONNECTIONS.pop(connection_key, None)
+        if channel is not None:
+            channel[0].close()
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "address": self.address,
+            "authkey": self.authkey,
+            "maxsize": self.maxsize,
+            "_process": None,
+        }
+
+
+def create_backend(
+    kind: str,
+    maxsize: int = 512,
+    match_epsilon: float = 1e-9,
+    stripes: int = 8,
+):
+    """Build a cache backend by name, or raise :class:`SharedCacheUnavailable`.
+
+    ``local`` always succeeds; ``shm`` and ``server`` need working
+    subprocess/socket machinery, so any bring-up failure is wrapped in
+    :class:`SharedCacheUnavailable` for callers to catch and degrade.
+    """
+    if kind == "local":
+        return LocalBackend(maxsize=maxsize, match_epsilon=match_epsilon)
+    if kind == "shm":
+        try:
+            return ShmBackend(maxsize=maxsize, match_epsilon=match_epsilon, stripes=stripes)
+        except SharedCacheUnavailable:
+            raise
+        except Exception as error:
+            raise SharedCacheUnavailable(f"shm cache backend unavailable: {error!r}") from error
+    if kind == "server":
+        try:
+            return ServerBackend.start(maxsize=maxsize, match_epsilon=match_epsilon)
+        except SharedCacheUnavailable:
+            raise
+        except Exception as error:
+            raise SharedCacheUnavailable(
+                f"server cache backend unavailable: {error!r}"
+            ) from error
+    raise ValueError(f"backend must be one of {BACKEND_KINDS}, got {kind!r}")
+
+
+__all__ = [
+    "BACKEND_KINDS",
+    "CacheBackend",
+    "DEFAULT_WRITE_BATCH",
+    "LocalBackend",
+    "ServerBackend",
+    "SharedCacheUnavailable",
+    "ShmBackend",
+    "create_backend",
+]

@@ -502,3 +502,22 @@ def random_parameterized(
         else:
             circuit.h(int(rng.integers(0, num_qubits)))
     return circuit
+
+
+def repeated_blocks(
+    num_qubits: int = 4, repetitions: int = 8, name: "str | None" = None
+) -> Circuit:
+    """Tile one CNOT-conjugated Clifford+T motif over every qubit pair.
+
+    The same few canonical block unitaries recur on every pair (and are
+    qubit relabelings of each other), which makes this the canonical
+    workload for the resynthesis cache: any worker's synthesis result is
+    reusable by every sibling.  Used by the shared-cache benchmark and
+    ``examples/shared_cache_portfolio.py``.
+    """
+    circuit = Circuit(num_qubits, name=name or f"repeated_blocks_{num_qubits}_{repetitions}")
+    for _ in range(repetitions):
+        for qubit in range(num_qubits - 1):
+            circuit.cx(qubit, qubit + 1).t(qubit + 1).cx(qubit, qubit + 1)
+            circuit.h(qubit).s(qubit)
+    return circuit

@@ -1,0 +1,63 @@
+"""Public API surface checks: ``__all__`` integrity and docs/api.md coverage.
+
+The supported entry points are whatever ``docs/api.md`` lists; these tests
+keep that page honest — every exported name must resolve, every top-level
+export must be documented, and every module must carry a docstring (the
+docs tree links into module docstrings for detail).
+"""
+
+import importlib
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+API_DOC = REPO_ROOT / "docs" / "api.md"
+
+PUBLIC_PACKAGES = ["repro", "repro.parallel", "repro.perf", "repro.baselines", "repro.suite"]
+
+
+@pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+def test_all_names_resolve(package_name):
+    """Everything a package exports via __all__ must actually exist."""
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", None)
+    assert exported, f"{package_name} must declare __all__"
+    missing = [name for name in exported if not hasattr(package, name)]
+    assert not missing, f"{package_name}.__all__ names that do not resolve: {missing}"
+
+
+@pytest.mark.parametrize("package_name", ["repro", "repro.parallel", "repro.perf"])
+def test_api_doc_covers_exports(package_name):
+    """docs/api.md must mention every name these packages export."""
+    documented = API_DOC.read_text()
+    package = importlib.import_module(package_name)
+    undocumented = [
+        name
+        for name in package.__all__
+        if name != "__version__" and f"`{name}`" not in documented and name not in documented
+    ]
+    assert not undocumented, (
+        f"update docs/api.md: {package_name} exports it does not mention: {undocumented}"
+    )
+
+
+def test_every_module_has_a_docstring():
+    """The docs tree leans on module docstrings; none may be empty."""
+    undocumented = []
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(module_info.name)
+        if not (module.__doc__ or "").strip():
+            undocumented.append(module_info.name)
+    assert not undocumented, f"modules without docstrings: {undocumented}"
+
+
+def test_docs_tree_is_linked_from_readme():
+    """README is the overview; each docs page must be reachable from it."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    for page in ("architecture.md", "caching.md", "benchmarks.md", "api.md"):
+        assert f"docs/{page}" in readme, f"README must link docs/{page}"
+        assert (REPO_ROOT / "docs" / page).exists()
