@@ -1,0 +1,95 @@
+"""Standalone TCP resynthesis-cache server for multi-host clusters.
+
+``python -m repro.distrib.cache_server --port 8799`` serves one
+:class:`~repro.perf.shared_cache._BucketStore` over an ``AF_INET``
+``multiprocessing.connection.Listener``, speaking the same length-prefixed
+pickle ``(op, payload)`` protocol as the driver-owned ``server`` backend —
+which is exactly what :class:`~repro.perf.shared_cache.TcpCacheBackend`
+clients dial.  Run one (or several — clients shard keys across them with
+consistent hashing) near your host agents, then point every portfolio at
+``share_resynthesis_cache="tcp://host:port[,host:port...]"``.
+
+Unlike the ``server`` backend's child process, a network cache server's
+lifetime deliberately spans many runs and many hosts: a warm store keeps
+serving synthesis results to tomorrow's runs.  Stop it by killing the
+process (or sending the protocol ``shutdown`` op).
+
+:func:`start_tcp_cache_server` is the in-process spawn helper tests and
+examples use to get an ephemeral-port server with a handle to tear down.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.perf.shared_cache import (
+    SharedCacheUnavailable,
+    _serve_cache,
+    tcp_cache_authkey,
+)
+
+
+def start_tcp_cache_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    authkey: "bytes | None" = None,
+    maxsize: int = 4096,
+    match_epsilon: float = 1e-9,
+    start_timeout: float = 30.0,
+):
+    """Spawn a cache-server process; returns ``(process, (host, port))``.
+
+    ``port=0`` lets the OS pick a free port (the returned address has the
+    real one).  The process is a daemon: it dies with its parent unless the
+    parent outlives the runs it serves.  Terminate it (or send the protocol
+    ``shutdown`` op) to stop it; there is no owning backend handle.
+    """
+    import multiprocessing
+
+    key = bytes(authkey) if authkey is not None else tcp_cache_authkey()
+    context = multiprocessing.get_context()
+    bootstrap_recv, bootstrap_send = context.Pipe(duplex=False)
+    process = context.Process(
+        target=_serve_cache,
+        args=(bootstrap_send, key, maxsize, match_epsilon, (host, port)),
+        daemon=True,
+        name="repro-tcp-cache-server",
+    )
+    process.start()
+    bootstrap_send.close()
+    if not bootstrap_recv.poll(start_timeout):
+        process.terminate()
+        raise SharedCacheUnavailable("tcp cache server did not report an address in time")
+    address = bootstrap_recv.recv()
+    bootstrap_recv.close()
+    return process, (str(address[0]), int(address[1]))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.distrib.cache_server",
+        description="Serve a shared resynthesis cache over TCP for multi-host portfolios.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="address to bind (0.0.0.0 for LAN)")
+    parser.add_argument("--port", type=int, required=True, help="port to bind")
+    parser.add_argument("--maxsize", type=int, default=4096, help="entry bound of the LRU store")
+    parser.add_argument("--match-epsilon", type=float, default=1e-9)
+    parser.add_argument(
+        "--authkey", default=None, help="connection authkey (default: $REPRO_CACHE_AUTHKEY)"
+    )
+    args = parser.parse_args(argv)
+    key = args.authkey.encode() if args.authkey else tcp_cache_authkey()
+    print(
+        f"[cache-server] serving on {args.host}:{args.port} "
+        f"(maxsize {args.maxsize}); url tcp://{args.host}:{args.port}",
+        flush=True,
+    )
+    # Blocks until a client sends the protocol ``shutdown`` op (or the
+    # process is killed); every client connection gets a handler thread.
+    _serve_cache(None, key, args.maxsize, args.match_epsilon, (args.host, args.port))
+    print("[cache-server] shut down")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,445 @@
+"""Suite-sharding coordinator: one merge point for many host agents.
+
+``python -m repro.distrib.coordinator`` binds an ``AF_INET``
+``multiprocessing.connection.Listener`` (the same length-prefixed pickle
+framing the cache server speaks), deterministically shards a benchmark
+suite into a :class:`~repro.distrib.plan.ShardPlan`, and serves shards to
+whichever host agents (:mod:`repro.distrib.worker`) register — a pull
+model, so hosts of different speeds self-balance and the coordinator never
+needs to know the cluster size in advance.
+
+Failure semantics: a shard is *outstanding* from dispatch until its result
+arrives.  If the owning connection drops (host crash, network cut) or the
+host reports an execution error, the shard goes back on the queue and the
+next idle host re-runs it; because run seeds live in the plan, the re-run
+reproduces what the lost host would have computed, so re-queuing never
+perturbs the merged outcome.  Results for a shard that somehow completes
+twice keep the first arrival.  The run finishes when every shard has a
+result; merging (:mod:`repro.distrib.merge`) then orders everything by the
+plan, making the merged result independent of host count and arrival order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from collections import deque
+from multiprocessing.connection import Client, Listener
+
+from repro.distrib.merge import (
+    DistributedSuiteResult,
+    ShardResult,
+    merge_shard_results,
+)
+from repro.distrib.plan import (
+    DistributedJob,
+    Shard,
+    ShardPlan,
+    job_case_names,
+    make_shard_plan,
+    validate_job_cases,
+)
+from repro.distrib.worker import distrib_authkey
+from repro.perf.report import PerfReport
+
+
+class _CoordinatorState:
+    """Shard queue + results, shared across per-connection handler threads."""
+
+    def __init__(self, plan: ShardPlan, max_shard_attempts: int = 5) -> None:
+        self.plan = plan
+        self.pending: "deque[Shard]" = deque(plan.shards)
+        self.outstanding: "dict[int, str]" = {}
+        self.results: "dict[int, ShardResult]" = {}
+        self.hosts: "list[str]" = []
+        self.requeues: "list[str]" = []
+        self.shard_hosts: "dict[int, str]" = {}
+        self.attempts: "dict[int, int]" = {}
+        self.max_shard_attempts = max_shard_attempts
+        self.fatal: "str | None" = None
+        self.lock = threading.Lock()
+        self.finished = threading.Event()
+
+    def register(self, host: str) -> None:
+        with self.lock:
+            if host not in self.hosts:
+                self.hosts.append(host)
+
+    def take(self, host: str) -> "Shard | None":
+        with self.lock:
+            if not self.pending:
+                return None
+            shard = self.pending.popleft()
+            self.outstanding[shard.index] = host
+            return shard
+
+    def complete(self, index: int, result: ShardResult) -> None:
+        with self.lock:
+            self.outstanding.pop(index, None)
+            if index in self.results:
+                return  # a re-queued twin already delivered; keep first arrival
+            self.results[index] = result
+            self.shard_hosts[index] = result.host
+            if len(self.results) == len(self.plan.shards):
+                self.finished.set()
+
+    def requeue(self, index: int, reason: str) -> None:
+        """Put an outstanding shard back on the queue (host lost / errored).
+
+        Attempts are capped: a shard that keeps failing is almost certainly
+        failing *deterministically* (same seeds everywhere), and re-queuing
+        cannot fix that — the run aborts with the last reason instead of
+        spinning forever.
+        """
+        with self.lock:
+            host = self.outstanding.pop(index, None)
+            if host is None or index in self.results:
+                return
+            self.requeues.append(f"shard {index} re-queued from {host}: {reason}")
+            attempts = self.attempts.get(index, 0) + 1
+            self.attempts[index] = attempts
+            if attempts >= self.max_shard_attempts:
+                self.fatal = (
+                    f"shard {index} failed on {attempts} host assignments; "
+                    f"giving up (last: {reason})"
+                )
+                self.finished.set()
+                return
+            shard = next(s for s in self.plan.shards if s.index == index)
+            self.pending.append(shard)
+
+    def snapshot(self) -> str:
+        with self.lock:
+            return (
+                f"{len(self.results)}/{len(self.plan.shards)} shards done, "
+                f"{len(self.pending)} pending, {len(self.outstanding)} outstanding"
+            )
+
+
+def _serve_agent(connection, state: _CoordinatorState, job: DistributedJob) -> None:
+    """Handle one agent connection until it disconnects (handler thread)."""
+    host = "?"
+    held: "set[int]" = set()
+    try:
+        while True:
+            try:
+                op, payload = connection.recv()
+            except (EOFError, OSError, ConnectionError):
+                return
+            if op == "hello":
+                host = str(payload)
+                state.register(host)
+                connection.send(
+                    ("welcome", {"shards": len(state.plan.shards), "runs": state.plan.num_runs})
+                )
+            elif op == "next":
+                shard = state.take(host)
+                if shard is not None:
+                    held.add(shard.index)
+                    connection.send(("shard", (shard, job)))
+                elif state.finished.is_set():
+                    connection.send(("done", None))
+                else:
+                    # Work may still flow back: an outstanding shard on a
+                    # dying host would land here after a re-queue.
+                    connection.send(("wait", 0.2))
+            elif op == "result":
+                index, shard_result = payload
+                held.discard(index)
+                state.complete(index, shard_result)
+                connection.send(("ok", None))
+            elif op == "error":
+                index, message = payload
+                held.discard(index)
+                state.requeue(index, f"host error: {message}")
+                connection.send(("ok", None))
+            elif op == "ping":
+                connection.send(("pong", None))
+            else:
+                connection.send(("unknown-op", op))
+    finally:
+        connection.close()
+        # A vanished host forfeits everything it was holding.
+        for index in held:
+            state.requeue(index, "connection lost")
+
+
+def _wake_listener(address, authkey: bytes, finished: threading.Event, deadline: "float | None"):
+    """Unblock the accept loop when the run finishes (or the deadline passes)."""
+    finished.wait(None if deadline is None else max(0.0, deadline - time.monotonic()))
+    try:
+        Client(address, authkey=authkey).close()
+    except (OSError, ConnectionError):
+        pass
+
+
+class Coordinator:
+    """Own one distributed run: bind, dispatch, re-queue, merge.
+
+    ``serve()`` blocks until every shard has reported and returns the merged
+    :class:`~repro.distrib.merge.DistributedSuiteResult`; ``start()`` runs
+    it on a background thread (returning the bound address once listening)
+    with ``join()`` to collect the result — the in-process form tests and
+    drivers embed.
+    """
+
+    def __init__(
+        self,
+        job: DistributedJob,
+        plan: ShardPlan,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        authkey: "bytes | None" = None,
+        timeout: "float | None" = None,
+        max_shard_attempts: int = 5,
+    ) -> None:
+        # Fail before binding: a case name no host can resolve would fail
+        # deterministically on every assignment (see requeue's attempt cap).
+        validate_job_cases(job, plan.case_names)
+        self.job = job
+        self.plan = plan
+        self.host = host
+        self.port = port
+        self.authkey = bytes(authkey) if authkey is not None else distrib_authkey()
+        self.timeout = timeout
+        self.max_shard_attempts = max_shard_attempts
+        self._address: "tuple[str, int] | None" = None
+        self._bound = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self._result: "DistributedSuiteResult | None" = None
+        self._error: "BaseException | None" = None
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The bound ``(host, port)``; valid once listening."""
+        if not self._bound.wait(timeout=30.0) or self._address is None:
+            if self._error is not None:
+                raise RuntimeError("coordinator failed to start") from self._error
+            raise RuntimeError("coordinator is not listening")
+        return self._address
+
+    def serve(self) -> DistributedSuiteResult:
+        """Serve shards until the plan completes; return the merged result."""
+        state = _CoordinatorState(self.plan, max_shard_attempts=self.max_shard_attempts)
+        started = time.monotonic()
+        deadline = None if self.timeout is None else started + self.timeout
+        with Listener((self.host, self.port), authkey=self.authkey) as listener:
+            self._address = listener.address
+            self._bound.set()
+            threading.Thread(
+                target=_wake_listener,
+                args=(listener.address, self.authkey, state.finished, deadline),
+                daemon=True,
+            ).start()
+            while not state.finished.is_set():
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"distributed run timed out after {self.timeout:.0f}s "
+                        f"({state.snapshot()})"
+                    )
+                try:
+                    connection = listener.accept()
+                except Exception:
+                    continue  # failed handshake must not kill the run
+                threading.Thread(
+                    target=_serve_agent, args=(connection, state, self.job), daemon=True
+                ).start()
+        if state.fatal is not None:
+            raise RuntimeError(
+                f"distributed run aborted: {state.fatal} "
+                f"(re-queue log: {state.requeues})"
+            )
+        elapsed = time.monotonic() - started
+        cases = merge_shard_results(self.plan, state.results)
+        perf_reports = [sr.perf for sr in state.results.values() if sr.perf is not None]
+        return DistributedSuiteResult(
+            plan=self.plan,
+            cases=cases,
+            perf=PerfReport.merged(perf_reports, elapsed=elapsed) if perf_reports else None,
+            hosts=list(state.hosts),
+            shard_hosts=dict(state.shard_hosts),
+            requeues=list(state.requeues),
+            elapsed=elapsed,
+        )
+
+    # -- background form ------------------------------------------------------
+
+    def start(self) -> "tuple[str, int]":
+        """Run :meth:`serve` on a daemon thread; return the bound address."""
+        if self._thread is not None:
+            raise RuntimeError("coordinator already started")
+
+        def _run() -> None:
+            try:
+                self._result = self.serve()
+            except BaseException as error:  # noqa: BLE001 - re-raised in join()
+                self._error = error
+                self._bound.set()  # never leave address() waiters hanging
+
+        self._thread = threading.Thread(target=_run, daemon=True, name="distrib-coordinator")
+        self._thread.start()
+        return self.address
+
+    def join(self, timeout: "float | None" = None) -> DistributedSuiteResult:
+        """Wait for a started coordinator and return (or raise) its outcome."""
+        if self._thread is None:
+            raise RuntimeError("coordinator was not started")
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("coordinator still running")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+def _emit_bench(result: DistributedSuiteResult, path: str) -> None:
+    """Write a pytest-benchmark-shaped json for ``check_regression.py``.
+
+    One entry per case (mean = merged replica wall-clock) plus a
+    ``distrib_suite_total`` aggregate whose ``extra_info`` carries the
+    cross-host cache counters the CI gate reads (``--require-remote-hits``).
+    """
+    perf = result.perf
+    benchmarks = [
+        {
+            "name": f"distrib_{case.name}",
+            "stats": {"mean": max(r.elapsed for r in case.replicas)},
+            "extra_info": {
+                "best_cost": case.merged.best_cost,
+                "total_iterations": case.merged.total_iterations,
+            },
+        }
+        for case in result.cases
+    ]
+    benchmarks.append(
+        {
+            "name": "distrib_suite_total",
+            "stats": {"mean": result.elapsed},
+            "extra_info": {
+                "cache_remote_hits": perf.cache_remote_hits if perf else 0,
+                "cache_hit_rate": perf.cache_hit_rate if perf else 0.0,
+                "hosts": len(result.hosts),
+                "requeues": len(result.requeues),
+            },
+        }
+    )
+    with open(path, "w") as handle:
+        json.dump({"benchmarks": benchmarks}, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.distrib.coordinator",
+        description="Shard a benchmark suite across registered host agents and merge results.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="address to bind (0.0.0.0 for LAN)")
+    parser.add_argument("--port", type=int, default=0, help="port to bind (0 = OS-assigned)")
+    parser.add_argument(
+        "--authkey", default=None, help="connection authkey (default: $REPRO_DISTRIB_AUTHKEY)"
+    )
+    parser.add_argument("--suite", default="ftqc", choices=["nisq", "ftqc", "builtin"])
+    parser.add_argument("--scale", default="tiny", choices=["tiny", "small", "medium"])
+    parser.add_argument(
+        "--cases",
+        default=None,
+        help="comma-separated case subset (builtin: generator names; required there)",
+    )
+    parser.add_argument("--replicas", type=int, default=1, help="independent runs per case")
+    parser.add_argument("--shards", type=int, default=2, help="work units to split the plan into")
+    parser.add_argument("--seed", type=int, default=None, help="root seed (None = entropy)")
+    parser.add_argument("--gate-set", default="clifford+t")
+    parser.add_argument("--objective", default="ftqc", choices=["nisq", "ftqc", "2q"])
+    parser.add_argument("--no-lower", action="store_true", help="skip lowering to the gate set")
+    parser.add_argument("--epsilon", type=float, default=1e-6)
+    parser.add_argument("--max-iterations", type=int, default=60)
+    parser.add_argument("--num-workers", type=int, default=2, help="portfolio workers per run")
+    parser.add_argument("--exchange-interval", type=int, default=50)
+    parser.add_argument("--backend", default="serial", help="per-host portfolio backend")
+    parser.add_argument("--resynthesis-probability", type=float, default=0.015)
+    parser.add_argument("--synthesis-time-budget", type=float, default=0.5)
+    parser.add_argument("--no-resynthesis", action="store_true")
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="tcp://HOST:PORT[,...]",
+        help="shared resynthesis cache URL every host attaches to",
+    )
+    parser.add_argument("--timeout", type=float, default=None, help="abort after this many seconds")
+    parser.add_argument("--output", default=None, help="write the merged summary json here")
+    parser.add_argument(
+        "--emit-bench", default=None, help="write a check_regression.py-compatible BENCH json"
+    )
+    args = parser.parse_args(argv)
+
+    job = DistributedJob(
+        suite=args.suite,
+        scale=args.scale,
+        gate_set=args.gate_set,
+        objective=args.objective,
+        lower=not args.no_lower,
+        epsilon_budget=args.epsilon,
+        max_iterations=args.max_iterations,
+        num_workers=args.num_workers,
+        exchange_interval=args.exchange_interval,
+        backend=args.backend,
+        include_resynthesis=not args.no_resynthesis,
+        synthesis_time_budget=args.synthesis_time_budget,
+        resynthesis_probability=args.resynthesis_probability,
+        share_resynthesis_cache=args.cache,
+    )
+    if args.cases:
+        case_names = [name.strip() for name in args.cases.split(",") if name.strip()]
+    elif args.suite == "builtin":
+        parser.error("--suite builtin requires --cases (generator names)")
+    else:
+        case_names = job_case_names(job)
+    plan = make_shard_plan(
+        case_names, num_shards=args.shards, root_seed=args.seed, replicas=args.replicas
+    )
+    coordinator = Coordinator(
+        job,
+        plan,
+        host=args.host,
+        port=args.port,
+        authkey=args.authkey.encode() if args.authkey else None,
+        timeout=args.timeout,
+    )
+    print(f"[coordinator] plan: {plan.describe()}")
+    address = coordinator.start()
+    print(f"[coordinator] listening on {address[0]}:{address[1]}", flush=True)
+    result = coordinator.join()
+
+    print(f"[coordinator] hosts: {', '.join(result.hosts) or 'none'}")
+    for event in result.requeues:
+        print(f"[coordinator] {event}")
+    for case in result.cases:
+        merged = case.merged
+        print(
+            f"[coordinator] {case.name}: {merged.initial_cost:g} -> {merged.best_cost:g} "
+            f"({merged.cost_reduction:.0%}), error bound {merged.error_bound:.2e}, "
+            f"{merged.total_iterations} iterations over {len(case.replicas)} replica(s)"
+        )
+    if result.perf is not None:
+        print(
+            f"[coordinator] cache: {result.perf.cache_hits} hits / "
+            f"{result.perf.cache_misses} misses, "
+            f"{result.perf.cache_remote_hits} remote hits"
+        )
+    print(f"[coordinator] fingerprint {result.fingerprint()} in {result.elapsed:.1f}s")
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"[coordinator] summary written to {args.output}")
+    if args.emit_bench:
+        _emit_bench(result, args.emit_bench)
+        print(f"[coordinator] bench json written to {args.emit_bench}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

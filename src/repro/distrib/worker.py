@@ -1,0 +1,326 @@
+"""Host agent: executes shards for a coordinator on this machine.
+
+``python -m repro.distrib.worker --connect HOST:PORT`` connects to a
+coordinator (:mod:`repro.distrib.coordinator`), pulls shards, runs every
+:class:`~repro.distrib.plan.CaseRun` through a local
+:class:`~repro.parallel.PortfolioOptimizer` (rebuilding circuits from the
+suite generators — work units travel as names and seeds, not pickled
+circuits), and reports one :class:`~repro.distrib.merge.ShardResult` — with
+a per-shard merged :class:`~repro.perf.PerfReport` — per shard.
+
+Agents are stateless pull-workers: the job spec travels with each shard, a
+lost agent is simply a re-queued shard, and between runs the agent drains
+its pooled cache connections
+(:func:`repro.perf.shared_cache.drain_connection_pool`) so a long-lived
+agent never leaks sockets across the many portfolio runs it hosts.
+
+The same execution path is exposed in-process as :func:`run_local`, which
+executes a whole plan on the calling machine — the single-host baseline a
+distributed run's merged fingerprint can be compared against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.distrib.merge import DistributedSuiteResult, ShardResult, merge_shard_results
+from repro.distrib.plan import CaseRun, DistributedJob, Shard, ShardPlan
+from repro.perf.report import PerfReport
+
+#: default authkey for coordinator<->agent connections; like the cache key,
+#: a handshake (multiprocessing HMAC), not a security boundary — override
+#: with ``REPRO_DISTRIB_AUTHKEY`` to isolate concurrent clusters
+DEFAULT_DISTRIB_AUTHKEY = b"repro-distrib"
+
+
+def distrib_authkey() -> bytes:
+    """The coordinator/agent authkey: ``REPRO_DISTRIB_AUTHKEY`` or default."""
+    import os
+
+    value = os.environ.get("REPRO_DISTRIB_AUTHKEY")
+    return value.encode() if value else DEFAULT_DISTRIB_AUTHKEY
+
+
+def build_cases(job: DistributedJob, names: "list[str]") -> "dict[str, object]":
+    """Rebuild the named benchmark circuits on this host, lowered per the job.
+
+    Suites are assembled from the deterministic parametric generators, so
+    every host derives byte-identical circuits from the same names.
+    """
+    from repro.gatesets.base import get_gate_set
+    from repro.gatesets.decompose import decompose_to_gate_set
+    from repro.suite import ftqc_suite, nisq_suite
+    from repro.suite import generators as suite_generators
+    from repro.suite.suite import select_cases
+
+    gate_set = get_gate_set(job.gate_set)
+    circuits: "dict[str, object]" = {}
+    if job.suite == "builtin":
+        for name in names:
+            generator = getattr(suite_generators, name, None)
+            if generator is None or not callable(generator):
+                raise ValueError(f"unknown builtin generator {name!r}")
+            circuits[name] = generator()
+    else:
+        suite = nisq_suite(job.scale) if job.suite == "nisq" else ftqc_suite(job.scale)
+        for case in select_cases(suite, names):
+            circuits[case.name] = case.circuit
+    if job.lower:
+        for name, circuit in circuits.items():
+            lowered = decompose_to_gate_set(circuit, gate_set)
+            lowered.name = name
+            circuits[name] = lowered
+    return circuits
+
+
+def run_case(job: DistributedJob, run: CaseRun, circuit) -> "object":
+    """Optimize one case exactly as any host in the cluster would.
+
+    Builds a fresh transformation set seeded from the run's derived seed and
+    drives a local portfolio; the result is deterministic in ``run.seed``
+    when iteration-bounded and no cross-host cache is configured.
+    """
+    from repro.core.guoq import GuoqConfig
+    from repro.core.instantiate import default_objective, default_transformations
+    from repro.gatesets.base import get_gate_set
+    from repro.parallel.portfolio import PortfolioConfig, PortfolioOptimizer
+
+    gate_set = get_gate_set(job.gate_set)
+    objective = default_objective(gate_set, job.objective)
+    transformations = default_transformations(
+        gate_set,
+        epsilon=job.epsilon_budget,
+        include_rewrites=job.include_rewrites,
+        include_resynthesis=job.include_resynthesis,
+        synthesis_time_budget=job.synthesis_time_budget,
+        rng=run.seed,
+        # The portfolio attaches the (possibly tcp-shared) cache itself;
+        # a second private cache here would only shadow it.
+        resynthesis_cache=None if job.share_resynthesis_cache else True,
+    )
+    config = PortfolioConfig(
+        search=GuoqConfig(
+            epsilon_budget=job.epsilon_budget,
+            time_limit=job.time_limit,
+            max_iterations=job.max_iterations,
+            seed=run.seed,
+            resynthesis_probability=job.resynthesis_probability,
+        ),
+        num_workers=job.num_workers,
+        exchange_interval=job.exchange_interval,
+        backend=job.backend,
+    )
+    optimizer = PortfolioOptimizer(
+        transformations,
+        cost=objective,
+        config=config,
+        share_resynthesis_cache=job.share_resynthesis_cache,
+    )
+    return optimizer.optimize(circuit)
+
+
+def execute_shard(job: DistributedJob, shard: Shard, host: str) -> ShardResult:
+    """Run every case in ``shard`` locally and package the shard report."""
+    started = time.monotonic()
+    circuits = build_cases(job, [run.name for run in shard.runs])
+    case_results = []
+    for run in shard.runs:
+        result = run_case(job, run, circuits[run.name])
+        case_results.append((run, result))
+    perf_reports = [result.perf for _, result in case_results if result.perf is not None]
+    elapsed = time.monotonic() - started
+    return ShardResult(
+        shard_index=shard.index,
+        host=host,
+        case_results=case_results,
+        perf=PerfReport.merged(perf_reports, elapsed=elapsed) if perf_reports else None,
+        elapsed=elapsed,
+    )
+
+
+def run_local(job: DistributedJob, plan: ShardPlan, host: str = "local") -> DistributedSuiteResult:
+    """Execute a whole plan on this machine — the single-host baseline.
+
+    Uses the identical per-run execution path as a cluster of agents, so
+    its merged result (and fingerprint) is what any multi-host run of the
+    same plan must reproduce.
+    """
+    started = time.monotonic()
+    shard_results = {
+        shard.index: execute_shard(job, shard, host=host) for shard in plan.shards
+    }
+    cases = merge_shard_results(plan, shard_results)
+    perf_reports = [sr.perf for sr in shard_results.values() if sr.perf is not None]
+    elapsed = time.monotonic() - started
+    return DistributedSuiteResult(
+        plan=plan,
+        cases=cases,
+        perf=PerfReport.merged(perf_reports, elapsed=elapsed) if perf_reports else None,
+        hosts=[host],
+        shard_hosts={shard.index: host for shard in plan.shards},
+        elapsed=elapsed,
+    )
+
+
+class HostAgent:
+    """One machine's worker loop against a coordinator.
+
+    Pull protocol over ``multiprocessing.connection`` (length-prefixed
+    pickle frames): ``hello`` registers, ``next`` requests work, the
+    coordinator answers ``shard`` / ``wait`` / ``done``, and each finished
+    shard is posted back as ``result``.  A shard that raises locally is
+    reported as ``error`` so the coordinator can re-queue it elsewhere
+    instead of waiting forever.
+
+    ``shard_delay`` inserts a sleep before executing each shard — a testing
+    hook that makes "kill the agent mid-shard" scenarios deterministic.
+    """
+
+    def __init__(
+        self,
+        address: "tuple[str, int]",
+        authkey: "bytes | None" = None,
+        name: "str | None" = None,
+        connect_timeout: float = 30.0,
+        poll_interval: float = 0.2,
+        shard_delay: float = 0.0,
+    ) -> None:
+        self.address = (str(address[0]), int(address[1]))
+        self.authkey = bytes(authkey) if authkey is not None else distrib_authkey()
+        if name is None:
+            import os
+            import socket
+
+            name = f"{socket.gethostname()}:{os.getpid()}"
+        self.name = name
+        self.connect_timeout = connect_timeout
+        self.poll_interval = poll_interval
+        self.shard_delay = shard_delay
+
+    def _connect(self):
+        from multiprocessing.connection import Client
+
+        deadline = time.monotonic() + self.connect_timeout
+        while True:
+            try:
+                return Client(self.address, authkey=self.authkey)
+            except (ConnectionError, OSError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(min(self.poll_interval, 0.5))
+
+    def run(self) -> int:
+        """Serve shards until the coordinator says ``done``; returns count served."""
+        from repro.perf.shared_cache import drain_connection_pool
+
+        completed = 0
+        connection = self._connect()
+        try:
+            connection.send(("hello", self.name))
+            connection.recv()  # welcome
+            while True:
+                try:
+                    connection.send(("next", None))
+                    op, payload = connection.recv()
+                except (EOFError, OSError, ConnectionError):
+                    break  # coordinator finished and closed the listener
+                if op == "done":
+                    break
+                if op == "wait":
+                    time.sleep(float(payload) if payload else self.poll_interval)
+                    continue
+                if op != "shard":
+                    raise RuntimeError(f"unexpected coordinator reply {op!r}")
+                shard, job = payload
+                if self.shard_delay:
+                    time.sleep(self.shard_delay)
+                try:
+                    shard_result = execute_shard(job, shard, host=self.name)
+                except Exception as error:  # noqa: BLE001 - reported for re-queue
+                    report = ("error", (shard.index, repr(error)))
+                    # Breathe before asking for more work: if the failure is
+                    # deterministic, the coordinator may hand the shard right
+                    # back, and an unthrottled loop would spin at full CPU
+                    # until its attempt cap trips.
+                    time.sleep(self.poll_interval)
+                else:
+                    report = ("result", (shard.index, shard_result))
+                    completed += 1
+                try:
+                    connection.send(report)
+                    connection.recv()  # ok
+                except (EOFError, OSError, ConnectionError):
+                    # The run finished without us (e.g. our shard was
+                    # re-queued and a twin won); nothing left to report to.
+                    break
+        finally:
+            try:
+                connection.close()
+            except OSError:
+                pass
+            # A long-lived agent outlives many runs (and their tcp caches):
+            # drop pooled sockets so dead servers don't accumulate fds.
+            drain_connection_pool()
+        return completed
+
+
+def run_host_agent(
+    address: "tuple[str, int]",
+    authkey: "bytes | None" = None,
+    name: "str | None" = None,
+    connect_timeout: float = 30.0,
+    shard_delay: float = 0.0,
+) -> int:
+    """Module-level agent entry point (spawn-safe ``Process`` target)."""
+    agent = HostAgent(
+        address,
+        authkey=authkey,
+        name=name,
+        connect_timeout=connect_timeout,
+        shard_delay=shard_delay,
+    )
+    return agent.run()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.distrib.worker",
+        description="Host agent: pull and execute shards from a repro.distrib coordinator.",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to register with",
+    )
+    parser.add_argument("--name", default=None, help="host label in reports (default host:pid)")
+    parser.add_argument(
+        "--authkey",
+        default=None,
+        help="connection authkey (default: $REPRO_DISTRIB_AUTHKEY or built-in)",
+    )
+    parser.add_argument(
+        "--retry",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="keep retrying the initial connection this long (agents may start first)",
+    )
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    if not host:
+        parser.error(f"--connect must be HOST:PORT, got {args.connect!r}")
+    agent = HostAgent(
+        (host, int(port)),
+        authkey=args.authkey.encode() if args.authkey else None,
+        name=args.name,
+        connect_timeout=args.retry,
+    )
+    completed = agent.run()
+    print(f"[{agent.name}] served {completed} shard(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,9 +11,11 @@ Algorithm 1 regression pin observes:
   qubit-permutation-normalized) form of the block unitary, with LRU bounds
   and hit/miss counters;
 * :mod:`~repro.perf.shared_cache` — pluggable cache storage backends:
-  in-process (``local``), shared-memory (``shm``), and a driver-owned cache
-  server (``server``), so the cache can be shared across portfolio workers
-  that live in separate processes;
+  in-process (``local``), shared-memory (``shm``), a driver-owned cache
+  server (``server``), and a consistent-hash network client (``tcp``) over
+  standalone cache servers, so the cache can be shared across portfolio
+  workers in separate processes — or on separate machines (see
+  :mod:`repro.distrib`);
 * :class:`~repro.perf.report.PerfReport` — per-phase wall-clock accounting,
   iteration throughput, and cache statistics, surfaced through
   ``GuoqResult.perf`` and merged across portfolio workers.
@@ -28,7 +30,10 @@ from repro.perf.shared_cache import (
     ServerBackend,
     SharedCacheUnavailable,
     ShmBackend,
+    TcpCacheBackend,
     create_backend,
+    drain_connection_pool,
+    parse_tcp_cache_url,
 )
 
 __all__ = [
@@ -41,7 +46,10 @@ __all__ = [
     "ServerBackend",
     "SharedCacheUnavailable",
     "ShmBackend",
+    "TcpCacheBackend",
     "canonicalize_unitary",
     "create_backend",
+    "drain_connection_pool",
+    "parse_tcp_cache_url",
     "permute_unitary",
 ]

@@ -19,6 +19,16 @@ Three backends cover the portfolio's execution modes:
   round trips; the server serializes all mutations through one
   :class:`_BucketStore`, which keeps true LRU order — the trade against
   ``shm`` is one IPC hop per lookup versus manager-proxy traffic per bucket.
+* ``tcp`` (:class:`TcpCacheBackend`) — the same wire protocol as ``server``
+  but against one or more *network* cache servers on ``AF_INET`` addresses
+  (``tcp://host:port,host:port``), with consistent-hash key sharding across
+  servers.  This is the backend that lets portfolio runs on *different
+  machines* share synthesis results (see ``docs/distributed.md``); the
+  servers are standalone processes (``python -m repro.distrib.cache_server``)
+  whose lifetime spans many runs and many hosts, so unlike ``server`` the
+  backend never owns them.  An unreachable server at bring-up raises
+  :class:`SharedCacheUnavailable`; a server lost *mid-run* degrades its key
+  range to miss/drop instead of failing the run.
 
 All backends implement the same small protocol (:class:`CacheBackend`):
 ``get_many`` / ``put_many`` at bucket granularity (the unit the front end
@@ -33,6 +43,9 @@ raises :class:`SharedCacheUnavailable` so callers can degrade to ``local``.
 
 from __future__ import annotations
 
+import bisect
+import hashlib
+import os
 import pickle
 import secrets
 import threading
@@ -46,7 +59,7 @@ import numpy as np
 
 from repro.synthesis.resynth import ResynthesisOutcome
 
-BACKEND_KINDS = ("local", "shm", "server")
+BACKEND_KINDS = ("local", "shm", "server", "tcp")
 
 #: how many pending puts a front end accumulates before flushing to a shared
 #: backend (amortizes IPC; see ``ResynthesisCache.write_batch_size``)
@@ -397,9 +410,83 @@ class ShmBackend:
 
 #: module-level client connection reuse: one connection (plus its I/O lock)
 #: per (address, authkey) per process, so a worker that receives many pickled
-#: ``ServerBackend`` handles (one per exchange round) dials the server once
+#: ``ServerBackend``/``TcpCacheBackend`` handles (one per exchange round)
+#: dials each server once
 _CONNECTIONS: dict = {}
 _CONNECTIONS_GUARD = threading.Lock()
+
+
+def _address_key(address) -> "tuple | object":
+    """Hashable pool-key form of a connection address (lists don't hash)."""
+    return tuple(address) if isinstance(address, (list, tuple)) else address
+
+
+def _pooled_channel(address, authkey: bytes):
+    """Dial (or reuse) the per-process connection to ``address``.
+
+    Returns ``(connection, io_lock)``; the lock serializes request/reply
+    pairs on the shared socket.  The dial itself happens *outside* the pool
+    guard — a slow or black-holed server (network caches can sit across a
+    WAN) must not stall every thread's traffic to healthy servers while the
+    OS connect times out.  A lost race simply closes the extra socket.
+    """
+    connection_key = (_address_key(address), authkey)
+    with _CONNECTIONS_GUARD:
+        channel = _CONNECTIONS.get(connection_key)
+    if channel is not None:
+        return channel
+    connection = Client(address, authkey=authkey)
+    with _CONNECTIONS_GUARD:
+        existing = _CONNECTIONS.get(connection_key)
+        if existing is not None:
+            channel = existing
+        else:
+            channel = (connection, threading.Lock())
+            _CONNECTIONS[connection_key] = channel
+    if channel[0] is not connection:  # raced another dialer; keep theirs
+        try:
+            connection.close()
+        except OSError:
+            pass
+    return channel
+
+
+def _drop_pooled_channel(address, authkey: bytes) -> None:
+    """Close and forget the pooled connection to ``address`` (if any)."""
+    connection_key = (_address_key(address), authkey)
+    with _CONNECTIONS_GUARD:
+        channel = _CONNECTIONS.pop(connection_key, None)
+    if channel is not None:
+        try:
+            channel[0].close()
+        except OSError:
+            pass
+
+
+def drain_connection_pool() -> int:
+    """Close every pooled cache connection this process holds.
+
+    Backend handles pool their sockets per ``(address, authkey)`` so that
+    repeated runs against the same store reuse one connection.  A long-lived
+    process that outlives many runs against *different* stores (e.g. a
+    ``repro.distrib`` host agent serving shard after shard) calls this
+    between runs so dead servers' sockets don't accumulate.  Returns the
+    number of connections closed.  Call it at a quiescent point (between
+    runs, not while requests are in flight): closing a socket under an
+    active request surfaces as a connection error to that request —
+    harmless for ``ServerBackend`` (it raises) and absorbed by
+    ``TcpCacheBackend``'s redial-once retry, but noisy.  The next request
+    simply redials.
+    """
+    with _CONNECTIONS_GUARD:
+        channels = list(_CONNECTIONS.values())
+        _CONNECTIONS.clear()
+    for connection, _ in channels:
+        try:
+            connection.close()
+        except OSError:
+            pass
+    return len(channels)
 
 
 def _serve_client(connection, store: _BucketStore, stop: threading.Event) -> None:
@@ -439,19 +526,24 @@ def _serve_client(connection, store: _BucketStore, stop: threading.Event) -> Non
         connection.close()
 
 
-def _serve_cache(bootstrap, authkey: bytes, maxsize: int, match_epsilon: float) -> None:
+def _serve_cache(
+    bootstrap, authkey: bytes, maxsize: int, match_epsilon: float, address=None
+) -> None:
     """Cache-server process entry point (spawn-safe: module level, plain args).
 
-    Binds a ``Listener`` (the OS picks the address), reports the address back
-    through the ``bootstrap`` pipe, then accepts worker connections until one
-    of them sends ``shutdown``.  Every connection is served by a daemon
+    Binds a ``Listener`` on ``address`` (None lets the OS pick a local
+    address; an ``(host, port)`` tuple binds an ``AF_INET`` socket a remote
+    machine can reach), reports the bound address back through the
+    ``bootstrap`` pipe if one is given, then accepts worker connections until
+    one of them sends ``shutdown``.  Every connection is served by a daemon
     thread against one shared :class:`_BucketStore`.
     """
     store = _BucketStore(maxsize=maxsize, match_epsilon=match_epsilon)
     stop = threading.Event()
-    with Listener(address=None, authkey=bytes(authkey)) as listener:
-        bootstrap.send(listener.address)
-        bootstrap.close()
+    with Listener(address=address, authkey=bytes(authkey)) as listener:
+        if bootstrap is not None:
+            bootstrap.send(listener.address)
+            bootstrap.close()
         while not stop.is_set():
             try:
                 connection = listener.accept()
@@ -486,6 +578,7 @@ class ServerBackend:
         self.authkey = bytes(authkey)
         self.maxsize = maxsize
         self._process = process  # owned by the creating (driver) process
+        self._closed = False
 
     @classmethod
     def start(
@@ -518,16 +611,11 @@ class ServerBackend:
     # -- wire ----------------------------------------------------------------
 
     def _channel(self):
-        connection_key = (self.address, self.authkey)
-        with _CONNECTIONS_GUARD:
-            channel = _CONNECTIONS.get(connection_key)
-            if channel is None:
-                connection = Client(self.address, authkey=self.authkey)
-                channel = (connection, threading.Lock())
-                _CONNECTIONS[connection_key] = channel
-        return channel
+        return _pooled_channel(self.address, self.authkey)
 
     def _request(self, op: str, payload=None):
+        if self._closed:
+            raise RuntimeError("cache backend handle is closed")
         connection, io_lock = self._channel()
         with io_lock:
             connection.send((op, payload))
@@ -563,10 +651,19 @@ class ServerBackend:
         return self._process is not None and self._process.is_alive()
 
     def close(self) -> None:
-        """Tear the server down (owner) or just drop this process's socket."""
-        connection_key = (self.address, self.authkey)
+        """Tear the server down (owner) or just drop this process's socket.
+
+        Idempotent: the first call does the teardown and drains this
+        process's pooled connection to the server; repeated calls are no-ops,
+        so lifecycle code (portfolio exit paths, host agents, ``finally``
+        blocks) can all call it without coordinating.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._process is not None:
             try:
+                self._closed = False  # _request refuses on closed handles
                 self._request("shutdown")
                 # The accept loop needs one extra wake-up to observe stop.
                 try:
@@ -575,15 +672,14 @@ class ServerBackend:
                     pass
             except (OSError, EOFError, RuntimeError):
                 pass  # server already gone
+            finally:
+                self._closed = True
             self._process.join(timeout=10.0)
             if self._process.is_alive():
                 self._process.terminate()
                 self._process.join(timeout=5.0)
             self._process = None
-        with _CONNECTIONS_GUARD:
-            channel = _CONNECTIONS.pop(connection_key, None)
-        if channel is not None:
-            channel[0].close()
+        _drop_pooled_channel(self.address, self.authkey)
 
     # -- pickling ------------------------------------------------------------
 
@@ -593,7 +689,273 @@ class ServerBackend:
             "authkey": self.authkey,
             "maxsize": self.maxsize,
             "_process": None,
+            "_closed": False,
         }
+
+
+# --------------------------------------------------------------------------
+# Network cache: consistent-hash client over one or more TCP cache servers.
+# --------------------------------------------------------------------------
+
+#: default authentication key for TCP cache servers and clients.  This is a
+#: *connection handshake* (multiprocessing's HMAC challenge), not a security
+#: boundary — run the servers on a trusted network and override the key via
+#: ``REPRO_CACHE_AUTHKEY`` when isolating concurrent clusters.
+DEFAULT_TCP_AUTHKEY = b"repro-cache"
+
+TCP_URL_PREFIX = "tcp://"
+
+
+def tcp_cache_authkey() -> bytes:
+    """The TCP cache authkey: ``REPRO_CACHE_AUTHKEY`` or the default."""
+    value = os.environ.get("REPRO_CACHE_AUTHKEY")
+    return value.encode() if value else DEFAULT_TCP_AUTHKEY
+
+
+def parse_tcp_cache_url(url: str) -> "list[tuple[str, int]]":
+    """Parse ``tcp://host:port,host:port,...`` into ``(host, port)`` pairs.
+
+    Each comma-separated element may repeat the ``tcp://`` prefix (so lists
+    built by joining individual URLs parse too).  Hostnames are kept verbatim
+    for the resolver; ports must be integers.
+    """
+    if not url.startswith(TCP_URL_PREFIX):
+        raise ValueError(f"expected a {TCP_URL_PREFIX}host:port[,host:port...] URL, got {url!r}")
+    servers: "list[tuple[str, int]]" = []
+    for element in url[len(TCP_URL_PREFIX) :].split(","):
+        element = element.strip()
+        if element.startswith(TCP_URL_PREFIX):
+            element = element[len(TCP_URL_PREFIX) :]
+        if not element:
+            continue
+        host, separator, port = element.rpartition(":")
+        if not separator or not host:
+            raise ValueError(f"cache server {element!r} is not host:port (in {url!r})")
+        servers.append((host, int(port)))
+    if not servers:
+        raise ValueError(f"no cache servers in {url!r}")
+    return servers
+
+
+class TcpCacheBackend:
+    """Consistent-hash client over one or more AF_INET cache servers.
+
+    Speaks the exact ``(op, payload)`` wire protocol of :class:`ServerBackend`
+    (length-prefixed pickle via ``multiprocessing.connection``), but against
+    standalone network servers (``python -m repro.distrib.cache_server``)
+    instead of a driver-owned child process — which is what lets portfolio
+    runs on *different machines* share one resynthesis store.
+
+    Keys are sharded across servers on a consistent-hash ring
+    (``hash_replicas`` virtual points per server, SHA-1 positioned), so every
+    client — on any host — routes a given canonical key to the same server
+    without coordination, and adding a server to the URL list remaps only
+    ``~1/N`` of the key space.  Batched ``get_many``/``put_many`` calls are
+    split per server, so a batch still costs one round trip per *server*
+    touched, not per key.
+
+    Failure containment: an unreachable server at construction time raises
+    :class:`SharedCacheUnavailable` (callers degrade to a local cache); a
+    server that dies *mid-run* has its key range degraded — gets on it miss,
+    puts on it are dropped — and the loss is visible in ``stats()`` as
+    ``unreachable_servers``/``dropped_requests``.  The run keeps its own
+    correctness either way: the cache is a memo, never a source of truth.
+
+    The backend never owns the server processes (their lifetime deliberately
+    spans runs and hosts); :meth:`close` only drops this process's pooled
+    connections and is idempotent.
+    """
+
+    kind = "tcp"
+    shared_across_processes = True
+
+    def __init__(
+        self,
+        servers: "list[tuple[str, int]]",
+        authkey: "bytes | None" = None,
+        hash_replicas: int = 64,
+        probe: bool = True,
+    ) -> None:
+        if not servers:
+            raise ValueError("TcpCacheBackend needs at least one (host, port) server")
+        if hash_replicas < 1:
+            raise ValueError("hash_replicas must be at least 1")
+        self.servers = [(str(host), int(port)) for host, port in servers]
+        self.authkey = bytes(authkey) if authkey is not None else tcp_cache_authkey()
+        self.hash_replicas = hash_replicas
+        self._closed = False
+        self._dead: "set[int]" = set()
+        self._dropped = 0
+        self._stats_lock = threading.Lock()
+        self._build_ring()
+        if probe:
+            self._probe_servers()
+
+    @classmethod
+    def from_url(cls, url: str, authkey: "bytes | None" = None) -> "TcpCacheBackend":
+        """Build a backend from a ``tcp://host:port,...`` URL."""
+        return cls(parse_tcp_cache_url(url), authkey=authkey)
+
+    @property
+    def url(self) -> str:
+        """The canonical ``tcp://`` URL for these servers."""
+        return TCP_URL_PREFIX + ",".join(f"{host}:{port}" for host, port in self.servers)
+
+    # -- consistent hashing --------------------------------------------------
+
+    def _build_ring(self) -> None:
+        """Place ``hash_replicas`` virtual points per server on the ring.
+
+        Point positions depend only on the server address (not on list order
+        or count), so every client everywhere computes the same ring.
+        """
+        points: "list[tuple[int, int]]" = []
+        for index, (host, port) in enumerate(self.servers):
+            for replica in range(self.hash_replicas):
+                digest = hashlib.sha1(f"{host}:{port}#{replica}".encode()).digest()
+                points.append((int.from_bytes(digest[:8], "big"), index))
+        points.sort()
+        self._ring_positions = [position for position, _ in points]
+        self._ring_servers = [server for _, server in points]
+
+    def _server_for(self, key: bytes) -> int:
+        """Index of the server owning ``key`` (first ring point clockwise)."""
+        position = int.from_bytes(hashlib.sha1(key).digest()[:8], "big")
+        slot = bisect.bisect_right(self._ring_positions, position)
+        if slot == len(self._ring_positions):
+            slot = 0  # wrap around the ring
+        return self._ring_servers[slot]
+
+    def _group_by_server(self, keys) -> "dict[int, list]":
+        grouped: "dict[int, list]" = {}
+        for item in keys:
+            key = item[0] if isinstance(item, tuple) else item
+            grouped.setdefault(self._server_for(key), []).append(item)
+        return grouped
+
+    # -- wire ----------------------------------------------------------------
+
+    def _probe_servers(self) -> None:
+        """Fail fast if any configured server is unreachable at bring-up."""
+        for index in range(len(self.servers)):
+            try:
+                self._request(index, "ping")
+            except SharedCacheUnavailable:
+                raise
+            except Exception as error:
+                host, port = self.servers[index]
+                raise SharedCacheUnavailable(
+                    f"cache server {host}:{port} unreachable: {error!r}"
+                ) from error
+
+    def _request(self, server_index: int, op: str, payload=None):
+        if self._closed:
+            raise RuntimeError("cache backend handle is closed")
+        address = self.servers[server_index]
+        connection, io_lock = _pooled_channel(address, self.authkey)
+        with io_lock:
+            connection.send((op, payload))
+            ok, result = connection.recv()
+        if not ok:
+            raise RuntimeError(f"cache server {address} rejected {op!r}: {result}")
+        return result
+
+    def _request_degraded(self, server_index: int, op: str, payload=None, fallback=None):
+        """One request, degrading a dead/dying server to ``fallback``.
+
+        A connection-level failure drops the pooled socket and retries once
+        on a fresh dial — so a stale pooled connection (server restarted,
+        pool drained mid-flight) never condemns a healthy server.  Only a
+        failure on the fresh connection marks the server dead and counts
+        toward ``dropped_requests``; protocol-level rejections still raise.
+        Requests are idempotent at the store level (puts are merges), so the
+        retry can never double-apply.
+        """
+        if server_index in self._dead:
+            with self._stats_lock:
+                self._dropped += 1
+            return fallback
+        for attempt in range(2):
+            try:
+                return self._request(server_index, op, payload)
+            except (OSError, EOFError, ConnectionError):
+                _drop_pooled_channel(self.servers[server_index], self.authkey)
+                if attempt == 1:
+                    self._dead.add(server_index)
+                    with self._stats_lock:
+                        self._dropped += 1
+        return fallback
+
+    # -- protocol ------------------------------------------------------------
+
+    def get_many(self, keys: "list[bytes]") -> "dict[bytes, list[_Entry]]":
+        found: "dict[bytes, list[_Entry]]" = {}
+        for server_index, server_keys in self._group_by_server(keys).items():
+            reply = self._request_degraded(server_index, "get_many", server_keys, fallback={})
+            found.update(reply)
+        return found
+
+    def put_many(self, items: "list[tuple[bytes, _Entry]]") -> None:
+        for server_index, server_items in self._group_by_server(items).items():
+            self._request_degraded(server_index, "put_many", server_items)
+
+    def stats(self) -> dict:
+        totals = {"entries": 0, "puts": 0, "evictions": 0, "negative_entries": 0}
+        for server_index in range(len(self.servers)):
+            reply = self._request_degraded(server_index, "stats", fallback=None)
+            if reply:
+                for field_name in totals:
+                    totals[field_name] += int(reply.get(field_name, 0))
+        with self._stats_lock:
+            totals["unreachable_servers"] = len(self._dead)
+            totals["dropped_requests"] = self._dropped
+        return totals
+
+    def clear(self) -> None:
+        for server_index in range(len(self.servers)):
+            self._request_degraded(server_index, "clear")
+
+    def __len__(self) -> int:
+        total = 0
+        for server_index in range(len(self.servers)):
+            reply = self._request_degraded(server_index, "len", fallback=0)
+            total += int(reply or 0)
+        return total
+
+    def ping(self) -> bool:
+        """True when every configured server answers (dead ones count as no)."""
+        return all(
+            self._request_degraded(index, "ping", fallback=None) == "pong"
+            for index in range(len(self.servers))
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's pooled server connections (idempotent).
+
+        Never shuts servers down — their lifetime spans runs and hosts; stop
+        them via their own CLI/process handle.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for address in self.servers:
+            _drop_pooled_channel(address, self.authkey)
+
+    # -- pickling (workers redial through the per-process pool) --------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_stats_lock"]
+        state["_closed"] = False
+        state["_dead"] = set()
+        state["_dropped"] = 0
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()
 
 
 def create_backend(
@@ -606,8 +968,20 @@ def create_backend(
 
     ``local`` always succeeds; ``shm`` and ``server`` need working
     subprocess/socket machinery, so any bring-up failure is wrapped in
-    :class:`SharedCacheUnavailable` for callers to catch and degrade.
+    :class:`SharedCacheUnavailable` for callers to catch and degrade.  A
+    ``tcp://host:port[,host:port...]`` URL builds a :class:`TcpCacheBackend`
+    against already-running network cache servers; any unreachable server is
+    likewise a :class:`SharedCacheUnavailable`.
     """
+    if kind.startswith(TCP_URL_PREFIX):
+        try:
+            return TcpCacheBackend.from_url(kind)
+        except SharedCacheUnavailable:
+            raise
+        except Exception as error:
+            raise SharedCacheUnavailable(
+                f"tcp cache backend unavailable for {kind!r}: {error!r}"
+            ) from error
     if kind == "local":
         return LocalBackend(maxsize=maxsize, match_epsilon=match_epsilon)
     if kind == "shm":
@@ -632,10 +1006,15 @@ def create_backend(
 __all__ = [
     "BACKEND_KINDS",
     "CacheBackend",
+    "DEFAULT_TCP_AUTHKEY",
     "DEFAULT_WRITE_BATCH",
     "LocalBackend",
     "ServerBackend",
     "SharedCacheUnavailable",
     "ShmBackend",
+    "TcpCacheBackend",
     "create_backend",
+    "drain_connection_pool",
+    "parse_tcp_cache_url",
+    "tcp_cache_authkey",
 ]

@@ -130,6 +130,24 @@ def ftqc_suite(scale: str = "small") -> list[BenchmarkCase]:
     return cases
 
 
+def select_cases(
+    cases: "list[BenchmarkCase]", names: "list[str] | tuple[str, ...]"
+) -> "list[BenchmarkCase]":
+    """Pick the named cases out of an assembled suite, in ``names`` order.
+
+    The shard-partitioning layer (:mod:`repro.distrib`) works in case
+    *names* — they travel over the wire and index the plan — so subsetting
+    by name is the canonical way to materialize a shard's circuits.  Raises
+    on unknown names so a stale plan fails loudly instead of silently
+    shrinking the suite.
+    """
+    by_name = {case.name: case for case in cases}
+    unknown = [name for name in names if name not in by_name]
+    if unknown:
+        raise ValueError(f"unknown benchmark cases {unknown}; suite has {sorted(by_name)}")
+    return [by_name[name] for name in names]
+
+
 def lowered_suite(
     gate_set: "GateSet | str", scale: str = "small"
 ) -> list[BenchmarkCase]:

@@ -17,7 +17,14 @@ import repro
 REPO_ROOT = Path(__file__).resolve().parent.parent
 API_DOC = REPO_ROOT / "docs" / "api.md"
 
-PUBLIC_PACKAGES = ["repro", "repro.parallel", "repro.perf", "repro.baselines", "repro.suite"]
+PUBLIC_PACKAGES = [
+    "repro",
+    "repro.parallel",
+    "repro.perf",
+    "repro.distrib",
+    "repro.baselines",
+    "repro.suite",
+]
 
 
 @pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
@@ -30,7 +37,9 @@ def test_all_names_resolve(package_name):
     assert not missing, f"{package_name}.__all__ names that do not resolve: {missing}"
 
 
-@pytest.mark.parametrize("package_name", ["repro", "repro.parallel", "repro.perf"])
+@pytest.mark.parametrize(
+    "package_name", ["repro", "repro.parallel", "repro.perf", "repro.distrib"]
+)
 def test_api_doc_covers_exports(package_name):
     """docs/api.md must mention every name these packages export."""
     documented = API_DOC.read_text()
@@ -58,6 +67,6 @@ def test_every_module_has_a_docstring():
 def test_docs_tree_is_linked_from_readme():
     """README is the overview; each docs page must be reachable from it."""
     readme = (REPO_ROOT / "README.md").read_text()
-    for page in ("architecture.md", "caching.md", "benchmarks.md", "api.md"):
+    for page in ("architecture.md", "caching.md", "distributed.md", "benchmarks.md", "api.md"):
         assert f"docs/{page}" in readme, f"README must link docs/{page}"
         assert (REPO_ROOT / "docs" / page).exists()

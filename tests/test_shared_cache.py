@@ -428,3 +428,231 @@ class TestDowngradeReporting:
         result = optimizer.optimize(circuit)
         assert result.shared_cache_backend == "local"
         assert any("downgraded to a private" in note for note in result.perf.notes)
+
+
+# --------------------------------------------------------------------------
+# TCP backend: consistent-hash sharding over network cache servers.
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture
+def tcp_servers():
+    """Two live TCP cache servers; terminated after the test."""
+    from repro.distrib import start_tcp_cache_server
+
+    servers = []
+    try:
+        for _ in range(2):
+            servers.append(start_tcp_cache_server(maxsize=64))
+        yield [address for _, address in servers]
+    finally:
+        for process, _ in servers:
+            process.terminate()
+            process.join(timeout=10.0)
+
+
+def _tcp_entry(angle: float = 0.5) -> "tuple[bytes, _Entry]":
+    block = cnot_conjugated_rz(0, 1, angle)
+    key = f"tcp-key-{angle}".encode()
+    return key, _Entry(canonical=block.unitary(), outcome=None)
+
+
+class TestTcpCacheBackend:
+    def test_roundtrip_and_stats_across_servers(self, tcp_servers):
+        from repro.perf import TcpCacheBackend
+
+        backend = TcpCacheBackend(tcp_servers)
+        try:
+            items = [_tcp_entry(angle / 10.0) for angle in range(20)]
+            backend.put_many(items)
+            found = backend.get_many([key for key, _ in items])
+            assert set(found) == {key for key, _ in items}
+            stats = backend.stats()
+            assert stats["entries"] == 20
+            assert stats["unreachable_servers"] == 0
+            assert len(backend) == 20
+        finally:
+            backend.close()
+
+    def test_keys_shard_across_both_servers(self, tcp_servers):
+        from repro.perf import TcpCacheBackend
+
+        backend = TcpCacheBackend(tcp_servers)
+        try:
+            owners = {
+                backend._server_for(f"spread-{index}".encode())
+                for index in range(64)
+            }
+            assert owners == {0, 1}, "64 keys should touch both servers"
+        finally:
+            backend.close()
+
+    def test_ring_is_independent_of_server_order(self, tcp_servers):
+        from repro.perf import TcpCacheBackend
+
+        forward = TcpCacheBackend(tcp_servers, probe=False)
+        backward = TcpCacheBackend(list(reversed(tcp_servers)), probe=False)
+        keys = [f"route-{index}".encode() for index in range(32)]
+        routed_forward = [forward.servers[forward._server_for(k)] for k in keys]
+        routed_backward = [backward.servers[backward._server_for(k)] for k in keys]
+        assert routed_forward == routed_backward
+
+    def test_unreachable_server_raises_unavailable(self):
+        from repro.perf import create_backend
+
+        with pytest.raises(SharedCacheUnavailable):
+            create_backend("tcp://127.0.0.1:1")
+
+    def test_url_parsing(self):
+        from repro.perf import parse_tcp_cache_url
+
+        assert parse_tcp_cache_url("tcp://a:1,b:2") == [("a", 1), ("b", 2)]
+        assert parse_tcp_cache_url("tcp://a:1,tcp://b:2") == [("a", 1), ("b", 2)]
+        with pytest.raises(ValueError):
+            parse_tcp_cache_url("shm")
+        with pytest.raises(ValueError):
+            parse_tcp_cache_url("tcp://")
+        with pytest.raises(ValueError):
+            parse_tcp_cache_url("tcp://noport")
+
+    def test_dead_server_degrades_to_miss_and_drop(self, tcp_servers):
+        from repro.distrib import start_tcp_cache_server
+        from repro.perf import TcpCacheBackend
+
+        process, address = start_tcp_cache_server(maxsize=64)
+        backend = TcpCacheBackend([address])
+        try:
+            key, entry = _tcp_entry()
+            backend.put_many([(key, entry)])
+            assert key in backend.get_many([key])
+            process.terminate()
+            process.join(timeout=10.0)
+            assert backend.get_many([key]) == {}
+            backend.put_many([(key, entry)])  # dropped, not raised
+            stats = backend.stats()
+            assert stats["unreachable_servers"] == 1
+            assert stats["dropped_requests"] >= 2
+        finally:
+            backend.close()
+
+    def test_pickled_copy_redials_and_shares(self, tcp_servers):
+        from repro.perf import TcpCacheBackend
+
+        backend = TcpCacheBackend(tcp_servers)
+        copy = pickle.loads(pickle.dumps(backend))
+        try:
+            key, entry = _tcp_entry()
+            backend.put_many([(key, entry)])
+            assert key in copy.get_many([key])
+        finally:
+            backend.close()
+            copy.close()
+
+    def test_close_is_idempotent_and_leaves_servers_up(self, tcp_servers):
+        from repro.perf import TcpCacheBackend
+
+        backend = TcpCacheBackend(tcp_servers)
+        backend.close()
+        backend.close()
+        probe = TcpCacheBackend(tcp_servers)
+        try:
+            assert probe.ping()
+        finally:
+            probe.close()
+
+    def test_front_end_counts_cross_client_hits_as_remote(self, tcp_servers):
+        from repro.perf import TcpCacheBackend
+
+        writer = ResynthesisCache(
+            maxsize=32, shared=True, backend=TcpCacheBackend(tcp_servers)
+        )
+        reader = ResynthesisCache(
+            maxsize=32, shared=True, backend=TcpCacheBackend(tcp_servers)
+        )
+        block = cnot_conjugated_rz(0, 1)
+        try:
+            writer.put(
+                block.unitary(),
+                ResynthesisOutcome(Circuit(2).rzz(0.5, 0, 1), 0.0, 0.0),
+            )
+            writer.flush()
+            hit, outcome = reader.get(block.unitary(), epsilon=EPS)
+            assert hit and outcome is not None
+            assert reader.stats().remote_hits == 1
+            assert reader.stats().backend == "tcp"
+            assert writer.stats().remote_hits == 0
+        finally:
+            writer.close()
+            reader.close()
+
+
+class TestConnectionPoolLifecycle:
+    """Satellite: idempotent close + per-process pool drain."""
+
+    def test_server_backend_close_is_idempotent(self):
+        try:
+            backend = ServerBackend.start(maxsize=8)
+        except SharedCacheUnavailable as error:  # pragma: no cover
+            pytest.skip(f"server backend unavailable here: {error}")
+        assert backend.ping()
+        backend.close()
+        backend.close()  # second close must be a no-op, not an error
+        assert not backend.alive
+
+    def test_close_drains_pooled_connection(self):
+        from repro.perf.shared_cache import _CONNECTIONS, _address_key
+
+        try:
+            backend = ServerBackend.start(maxsize=8)
+        except SharedCacheUnavailable as error:  # pragma: no cover
+            pytest.skip(f"server backend unavailable here: {error}")
+        assert backend.ping()
+        pool_key = (_address_key(backend.address), backend.authkey)
+        assert pool_key in _CONNECTIONS
+        backend.close()
+        assert pool_key not in _CONNECTIONS
+
+    def test_drain_connection_pool_closes_everything(self, tcp_servers):
+        from repro.perf import TcpCacheBackend, drain_connection_pool
+        from repro.perf.shared_cache import _CONNECTIONS
+
+        backend = TcpCacheBackend(tcp_servers)
+        assert backend.ping()
+        assert len(_CONNECTIONS) >= 2
+        drained = drain_connection_pool()
+        assert drained >= 2
+        assert not _CONNECTIONS
+        assert backend.ping()  # next request simply redials
+        backend.close()
+
+    def test_closed_handle_refuses_requests(self, tcp_servers):
+        from repro.perf import TcpCacheBackend
+
+        backend = TcpCacheBackend(tcp_servers)
+        backend.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.stats()
+
+    def test_server_restart_recovers_via_redial_without_marking_dead(self):
+        from repro.distrib import start_tcp_cache_server
+        from repro.perf import TcpCacheBackend
+
+        process, address = start_tcp_cache_server(maxsize=64)
+        backend = TcpCacheBackend([address])
+        restarted = None
+        try:
+            key, entry = _tcp_entry()
+            backend.put_many([(key, entry)])  # pooled connection now live
+            process.terminate()
+            process.join(timeout=10.0)
+            # Same port, fresh (cold) server: the pooled socket is stale.
+            restarted, _ = start_tcp_cache_server(port=address[1], maxsize=64)
+            stats = backend.stats()  # first attempt fails, redial succeeds
+            assert stats["unreachable_servers"] == 0
+            assert stats["entries"] == 0  # the restarted store is cold
+        finally:
+            backend.close()
+            for proc in (process, restarted):
+                if proc is not None:
+                    proc.terminate()
+                    proc.join(timeout=10.0)
