@@ -16,6 +16,10 @@ acceptance signal that the resynthesis cache is live on the hot path.
 signal that *cross-process* cache sharing (the ``shm``/``server`` backends)
 is live on the processes portfolio — and, in the ``distrib-smoke`` job,
 that *cross-host* sharing through ``TcpCacheBackend`` is live.
+``--require-zero-dropped`` inverts the direction: a healthy-fleet job must
+report ``cache_dropped_requests`` and the value must be 0 everywhere — the
+counter a degraded tcp backend increments when it silently sheds traffic
+after a mid-run server death.
 
 Benchmarks with no baseline entry (and baseline rows without a ``mean``)
 are warned about and skipped, never a hard failure: new benches — e.g. the
@@ -97,6 +101,7 @@ def check(
     threshold: float,
     require_cache_hits: bool,
     require_remote_hits: bool = False,
+    require_zero_dropped: bool = False,
     abs_slack: float = DEFAULT_ABS_SLACK,
 ) -> int:
     means, extras = load_bench_means(bench_path)
@@ -158,6 +163,28 @@ def check(
             best = max(remote_hits.values())
             print(f"SHARED   best reported cache_remote_hits: {best}")
 
+    if require_zero_dropped:
+        dropped = {
+            name: info["cache_dropped_requests"]
+            for name, info in extras.items()
+            if "cache_dropped_requests" in info
+        }
+        if not dropped:
+            # An absent counter would make the gate vacuous — a healthy-fleet
+            # job that stops emitting it must fail loudly, not pass silently.
+            failures.append(
+                "no benchmark reported cache_dropped_requests in extra_info — "
+                "the fleet-health gate has nothing to check"
+            )
+        elif any(count > 0 for count in dropped.values()):
+            shedding = {name: count for name, count in dropped.items() if count > 0}
+            failures.append(
+                "cache traffic was silently dropped in a healthy-fleet job: "
+                f"{shedding} (a cache server died or was unreachable mid-run)"
+            )
+        else:
+            print(f"HEALTHY  cache_dropped_requests == 0 across {len(dropped)} benchmark(s)")
+
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)
         for failure in failures:
@@ -197,6 +224,14 @@ def main(argv: "list[str] | None" = None) -> int:
         ),
     )
     parser.add_argument(
+        "--require-zero-dropped",
+        action="store_true",
+        help=(
+            "fail unless extra_info cache_dropped_requests is reported and 0 "
+            "everywhere (healthy-fleet check: no cache traffic silently shed)"
+        ),
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help="rewrite the baseline from this BENCH json instead of checking",
@@ -212,6 +247,7 @@ def main(argv: "list[str] | None" = None) -> int:
         args.threshold,
         args.require_cache_hits,
         require_remote_hits=args.require_remote_hits,
+        require_zero_dropped=args.require_zero_dropped,
         abs_slack=args.abs_slack,
     )
 

@@ -15,6 +15,10 @@ perf job's ``BENCH_*.json`` artifact records them per run:
   repeated-block workload, with private per-worker caches versus one shared
   ``shm`` store; the shared run must report cross-worker (remote) hits and
   stay within noise of the private-copy wall-clock.
+* **Warm restart** — a tcp cache server with an on-disk corpus is warmed by
+  one run, killed, and restarted from its store; the second run against the
+  restarted server must reuse the persisted entries (remote hits, zero
+  verification failures, zero dropped requests).
 """
 
 import time
@@ -29,9 +33,10 @@ from repro.core import (
     TotalGateCount,
     rewrite_transformations,
 )
+from repro.distrib import start_tcp_cache_server
 from repro.gatesets import CLIFFORD_T, IBMQ20, decompose_to_gate_set
 from repro.parallel import PortfolioConfig, PortfolioOptimizer
-from repro.perf import ResynthesisCache
+from repro.perf import ResynthesisCache, TcpCacheBackend
 from repro.rewrite import rules_for_gate_set
 from repro.suite import qft
 from repro.suite.generators import random_clifford_t, repeated_blocks
@@ -292,6 +297,116 @@ def test_shared_cache_cross_process_portfolio(benchmark):
                 perf.cache_hits,
                 perf.cache_remote_hits,
                 shared.best_cost,
+            ],
+        ],
+    )
+
+
+WARM_RESTART_ITERATIONS = 200
+WARM_RESTART_SEED = 9
+
+
+def _tcp_cached_run(address, config, circuit):
+    """One GUOQ run with a fresh front end against the server at ``address``."""
+    cache = ResynthesisCache(maxsize=256, shared=True, backend=TcpCacheBackend([address]))
+    try:
+        result, wall = _timed_run(
+            _clifford_t_transformations(cache), TotalGateCount(), config, circuit
+        )
+        cache.flush()
+        stats = cache.stats()
+    finally:
+        cache.close()
+    return result, wall, stats
+
+
+@pytest.mark.smoke
+@pytest.mark.benchmark(group="perf-hotpath")
+def test_warm_restart_persistent_cache(benchmark, tmp_path):
+    """A cache server restarted from its disk store must serve warm hits.
+
+    Run one: a tcp cache server with ``store_path`` set is warmed by a
+    seeded search, then terminated (SIGTERM → exit snapshot).  Run two: a
+    *new* server process reloads the corpus and a *fresh* front end replays
+    the same seed against it — every hit it gets is necessarily a remote hit
+    served from disk-reloaded state, verified against the query unitary
+    (``verify_failures == 0``) with nothing silently shed
+    (``dropped_requests == 0``).
+    """
+    store = tmp_path / "resynth_corpus.bin"
+    circuit = random_clifford_t(4, 60, seed=2)
+    config = GuoqConfig(
+        epsilon_budget=1e-5,
+        time_limit=1e9,
+        max_iterations=WARM_RESTART_ITERATIONS,
+        seed=WARM_RESTART_SEED,
+        resynthesis_probability=0.25,
+    )
+
+    process, address = start_tcp_cache_server(
+        maxsize=4096, store_path=str(store), flush_interval=8
+    )
+    try:
+        _, cold_wall, cold_stats = _tcp_cached_run(address, config, circuit)
+    finally:
+        process.terminate()  # SIGTERM: the server snapshots its store on exit
+        process.join(timeout=30.0)
+    assert store.exists(), "the warm run must have persisted a corpus file"
+    assert cold_stats.puts > 0, "the warm run should have populated the store"
+
+    restarted, address = start_tcp_cache_server(
+        maxsize=4096, store_path=str(store), flush_interval=8
+    )
+    try:
+
+        def _warm_run():
+            return _tcp_cached_run(address, config, circuit)
+
+        warm, warm_wall, warm_stats = benchmark.pedantic(_warm_run, rounds=1, iterations=1)
+    finally:
+        restarted.terminate()
+        restarted.join(timeout=30.0)
+
+    assert warm_stats.remote_hits > 0, (
+        "a server restarted from its corpus must serve the previous run's entries"
+    )
+    assert warm_stats.verify_failures == 0, (
+        "disk-reloaded entries must verify bit-identically against query unitaries"
+    )
+    assert warm_stats.dropped_requests == 0 and warm_stats.unreachable_servers == 0
+    assert warm.best_cost <= warm.initial_cost
+
+    total_lookups = max(1, warm_stats.hits + warm_stats.misses)
+    benchmark.extra_info["cache_remote_hits"] = warm_stats.remote_hits
+    benchmark.extra_info["cache_hit_rate"] = warm_stats.hits / total_lookups
+    benchmark.extra_info["cache_dropped_requests"] = (
+        warm_stats.dropped_requests + warm_stats.backend_failures
+    )
+    benchmark.extra_info["cache_verify_failures"] = warm_stats.verify_failures
+    benchmark.extra_info["store_bytes"] = store.stat().st_size
+    benchmark.extra_info["wall_cold"] = cold_wall
+    benchmark.extra_info["wall_warm"] = warm_wall
+
+    print_table(
+        "Warm restart — tcp cache server restarted from its on-disk corpus "
+        "(seeded Clifford+T search, 4q/60g)",
+        ["run", "wall (s)", "hits", "remote hits", "verify fails", "dropped"],
+        [
+            [
+                "cold (fresh store)",
+                f"{cold_wall:.2f}",
+                cold_stats.hits,
+                cold_stats.remote_hits,
+                cold_stats.verify_failures,
+                cold_stats.dropped_requests,
+            ],
+            [
+                "warm (restarted)",
+                f"{warm_wall:.2f}",
+                warm_stats.hits,
+                warm_stats.remote_hits,
+                warm_stats.verify_failures,
+                warm_stats.dropped_requests,
             ],
         ],
     )

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.perf.persist import DEFAULT_FLUSH_INTERVAL
 from repro.perf.shared_cache import (
     SharedCacheUnavailable,
     _serve_cache,
@@ -36,6 +37,8 @@ def start_tcp_cache_server(
     maxsize: int = 4096,
     match_epsilon: float = 1e-9,
     start_timeout: float = 30.0,
+    store_path=None,
+    flush_interval: int = DEFAULT_FLUSH_INTERVAL,
 ):
     """Spawn a cache-server process; returns ``(process, (host, port))``.
 
@@ -43,6 +46,11 @@ def start_tcp_cache_server(
     real one).  The process is a daemon: it dies with its parent unless the
     parent outlives the runs it serves.  Terminate it (or send the protocol
     ``shutdown`` op) to stop it; there is no owning backend handle.
+
+    ``store_path`` makes the server crash-safe across restarts: it reloads
+    the on-disk corpus before binding (a damaged file degrades to its intact
+    prefix with a note, never a crash) and snapshots it on shutdown or
+    SIGTERM; ``flush_interval`` bounds how many puts a SIGKILL can lose.
     """
     import multiprocessing
 
@@ -51,7 +59,15 @@ def start_tcp_cache_server(
     bootstrap_recv, bootstrap_send = context.Pipe(duplex=False)
     process = context.Process(
         target=_serve_cache,
-        args=(bootstrap_send, key, maxsize, match_epsilon, (host, port)),
+        args=(
+            bootstrap_send,
+            key,
+            maxsize,
+            match_epsilon,
+            (host, port),
+            store_path,
+            flush_interval,
+        ),
         daemon=True,
         name="repro-tcp-cache-server",
     )
@@ -77,16 +93,40 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--authkey", default=None, help="connection authkey (default: $REPRO_CACHE_AUTHKEY)"
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persist the store to this corpus file: reloaded on start, "
+        "appended to incrementally, snapshotted on shutdown/SIGTERM",
+    )
+    parser.add_argument(
+        "--flush-every",
+        type=int,
+        default=DEFAULT_FLUSH_INTERVAL,
+        metavar="PUTS",
+        help="puts between incremental disk appends (with --store); "
+        "bounds what an abrupt kill can lose",
+    )
     args = parser.parse_args(argv)
     key = args.authkey.encode() if args.authkey else tcp_cache_authkey()
+    store_note = f"; store {args.store}" if args.store else ""
     print(
         f"[cache-server] serving on {args.host}:{args.port} "
-        f"(maxsize {args.maxsize}); url tcp://{args.host}:{args.port}",
+        f"(maxsize {args.maxsize}){store_note}; url tcp://{args.host}:{args.port}",
         flush=True,
     )
     # Blocks until a client sends the protocol ``shutdown`` op (or the
     # process is killed); every client connection gets a handler thread.
-    _serve_cache(None, key, args.maxsize, args.match_epsilon, (args.host, args.port))
+    _serve_cache(
+        None,
+        key,
+        args.maxsize,
+        args.match_epsilon,
+        (args.host, args.port),
+        args.store,
+        args.flush_every,
+    )
     print("[cache-server] shut down")
     return 0
 

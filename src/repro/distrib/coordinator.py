@@ -43,6 +43,7 @@ from repro.distrib.plan import (
 )
 from repro.distrib.worker import distrib_authkey
 from repro.perf.report import PerfReport
+from repro.perf.shared_cache import drain_connection_pool
 
 
 class _CoordinatorState:
@@ -221,7 +222,21 @@ class Coordinator:
         return self._address
 
     def serve(self) -> DistributedSuiteResult:
-        """Serve shards until the plan completes; return the merged result."""
+        """Serve shards until the plan completes; return the merged result.
+
+        On every exit path (merged result, timeout, abort) the coordinator
+        drains this process's pooled cache connections: a long-lived driver
+        embedding the in-process form runs many plans against many tcp
+        caches, and without the drain each run's sockets would accumulate as
+        leaked fds.  ``join()`` inherits the guarantee — it only ever returns
+        what ``serve`` produced.
+        """
+        try:
+            return self._serve()
+        finally:
+            drain_connection_pool()
+
+    def _serve(self) -> DistributedSuiteResult:
         state = _CoordinatorState(self.plan, max_shard_attempts=self.max_shard_attempts)
         started = time.monotonic()
         deadline = None if self.timeout is None else started + self.timeout
@@ -321,6 +336,10 @@ def _emit_bench(result: DistributedSuiteResult, path: str) -> None:
             "extra_info": {
                 "cache_remote_hits": perf.cache_remote_hits if perf else 0,
                 "cache_hit_rate": perf.cache_hit_rate if perf else 0.0,
+                # Fleet-health counters: nonzero means cache traffic was
+                # silently shed mid-run (--require-zero-dropped gates these).
+                "cache_dropped_requests": perf.cache_dropped_requests if perf else 0,
+                "cache_unreachable_servers": perf.cache_unreachable_servers if perf else 0,
                 "hosts": len(result.hosts),
                 "requeues": len(result.requeues),
             },
@@ -429,6 +448,14 @@ def main(argv: "list[str] | None" = None) -> int:
             f"{result.perf.cache_misses} misses, "
             f"{result.perf.cache_remote_hits} remote hits"
         )
+        if result.perf.cache_dropped_requests or result.perf.cache_unreachable_servers:
+            print(
+                f"[coordinator] WARNING: cache degraded mid-run — "
+                f"{result.perf.cache_unreachable_servers} unreachable server(s), "
+                f"{result.perf.cache_dropped_requests} dropped request(s)"
+            )
+        for note in result.perf.notes:
+            print(f"[coordinator] note: {note}")
     print(f"[coordinator] fingerprint {result.fingerprint()} in {result.elapsed:.1f}s")
     if args.output:
         with open(args.output, "w") as handle:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import time
+import traceback
 
 from repro.distrib.merge import DistributedSuiteResult, ShardResult, merge_shard_results
 from repro.distrib.plan import CaseRun, DistributedJob, Shard, ShardPlan
@@ -235,15 +236,20 @@ class HostAgent:
                 shard, job = payload
                 if self.shard_delay:
                     time.sleep(self.shard_delay)
+                failed = False
                 try:
                     shard_result = execute_shard(job, shard, host=self.name)
                 except Exception as error:  # noqa: BLE001 - reported for re-queue
-                    report = ("error", (shard.index, repr(error)))
-                    # Breathe before asking for more work: if the failure is
-                    # deterministic, the coordinator may hand the shard right
-                    # back, and an unthrottled loop would spin at full CPU
-                    # until its attempt cap trips.
-                    time.sleep(self.poll_interval)
+                    # Ship the full traceback, not just repr(error): the
+                    # coordinator's re-queue log (and the abort message when
+                    # the attempt cap trips) is where an operator debugs a
+                    # deterministic shard failure, and a bare repr loses the
+                    # failing frame.
+                    failed = True
+                    report = (
+                        "error",
+                        (shard.index, f"{error!r}\n{traceback.format_exc().rstrip()}"),
+                    )
                 else:
                     report = ("result", (shard.index, shard_result))
                     completed += 1
@@ -252,8 +258,17 @@ class HostAgent:
                     connection.recv()  # ok
                 except (EOFError, OSError, ConnectionError):
                     # The run finished without us (e.g. our shard was
-                    # re-queued and a twin won); nothing left to report to.
+                    # re-queued and a twin won); nothing left to report to —
+                    # and no reason to linger in a throttle sleep either.
                     break
+                if failed:
+                    # Breathe before asking for more work: if the failure is
+                    # deterministic, the coordinator may hand the shard right
+                    # back, and an unthrottled loop would spin at full CPU
+                    # until its attempt cap trips.  Only after a *delivered*
+                    # report — when the coordinator is already gone, the
+                    # break above shuts the agent down promptly instead.
+                    time.sleep(self.poll_interval)
         finally:
             try:
                 connection.close()

@@ -118,6 +118,21 @@ class PortfolioResult:
             return 0.0
         return 1.0 - self.best_cost / self.initial_cost
 
+    @property
+    def cache_dropped_requests(self) -> int:
+        """Cache requests dropped by degraded shared backends mid-run.
+
+        0 for a healthy fleet.  Nonzero means some lookups missed and some
+        writes were lost (results stay correct — the cache is a memo); the
+        matching explanation is in ``perf.notes``.
+        """
+        return self.perf.cache_dropped_requests if self.perf is not None else 0
+
+    @property
+    def cache_unreachable_servers(self) -> int:
+        """Cache servers that died mid-run as seen by any one worker."""
+        return self.perf.cache_unreachable_servers if self.perf is not None else 0
+
 
 class PortfolioOptimizer:
     """Drive ``N`` GUOQ workers with periodic best-incumbent exchange.

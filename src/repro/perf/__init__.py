@@ -18,10 +18,21 @@ Algorithm 1 regression pin observes:
   :mod:`repro.distrib`);
 * :class:`~repro.perf.report.PerfReport` — per-phase wall-clock accounting,
   iteration throughput, and cache statistics, surfaced through
-  ``GuoqResult.perf`` and merged across portfolio workers.
+  ``GuoqResult.perf`` and merged across portfolio workers;
+* :mod:`~repro.perf.persist` — the crash-safe disk tier: ``local`` and
+  ``server`` stores (and the standalone tcp cache server) can snapshot
+  their buckets to an append-only corpus file and reload it on start, so a
+  killed or restarted cache server comes back warm instead of cold.
 """
 
 from repro.perf.cache import ResynthesisCache, canonicalize_unitary, permute_unitary
+from repro.perf.persist import (
+    CORPUS_VERSION,
+    CorpusPersister,
+    append_corpus,
+    load_corpus,
+    write_corpus,
+)
 from repro.perf.report import CacheStats, PerfReport
 from repro.perf.shared_cache import (
     BACKEND_KINDS,
@@ -38,8 +49,10 @@ from repro.perf.shared_cache import (
 
 __all__ = [
     "BACKEND_KINDS",
+    "CORPUS_VERSION",
     "CacheBackend",
     "CacheStats",
+    "CorpusPersister",
     "LocalBackend",
     "PerfReport",
     "ResynthesisCache",
@@ -47,9 +60,12 @@ __all__ = [
     "SharedCacheUnavailable",
     "ShmBackend",
     "TcpCacheBackend",
+    "append_corpus",
     "canonicalize_unitary",
     "create_backend",
     "drain_connection_pool",
+    "load_corpus",
     "parse_tcp_cache_url",
     "permute_unitary",
+    "write_corpus",
 ]

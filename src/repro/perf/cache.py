@@ -225,6 +225,13 @@ class ResynthesisCache:
         self._misses = 0
         self._puts = 0
         self._remote_hits = 0
+        self._verify_failures = 0
+        #: backend round trips absorbed after connection-level failures (a
+        #: shared store lost mid-run degrades to local misses, see
+        #: :meth:`_backend_get_many`); surfaced via :meth:`stats` and notes
+        self._backend_failures = 0
+        self._backend_failure_noted = False
+        self._tcp_degradation_noted = False
         #: keys this front end itself stored — a hit on any other key served
         #: from a shared backend is a *cross-worker* (remote) hit
         self._my_keys: "set[bytes]" = set()
@@ -280,6 +287,7 @@ class ResynthesisCache:
             if verified is None:
                 with self._lock:
                     self._misses += 1
+                    self._verify_failures += 1
                 return False, None
             candidate = verified
         self._count_hit(remote)
@@ -318,16 +326,52 @@ class ResynthesisCache:
                 flush = self._write_buffer
                 self._write_buffer = []
         if flush:
-            self.backend.put_many(flush)
+            self._backend_put_many(flush)
 
     def flush(self) -> None:
         """Push any buffered puts to the backend (no-op for local storage)."""
         with self._lock:
             pending, self._write_buffer = self._write_buffer, []
         if pending:
-            self.backend.put_many(pending)
+            self._backend_put_many(pending)
 
     # -- internals -----------------------------------------------------------
+
+    #: connection-level failures a backend round trip can die of when its
+    #: store vanishes mid-run; protocol rejections (RuntimeError) still raise
+    _BACKEND_FAULTS = (OSError, EOFError, ConnectionError)
+
+    def _backend_get_many(self, keys: "list[bytes]") -> "dict[bytes, list[_Entry]]":
+        """``backend.get_many`` that degrades a dead store to a miss.
+
+        The cache is a memo, never a source of truth — a ``server``/``shm``
+        store that dies mid-run must cost hit rate, not the run.  (The tcp
+        backend already absorbs its own failures per server; this guard is
+        what gives the other shared backends the same property.)
+        """
+        try:
+            return self.backend.get_many(keys)
+        except self._BACKEND_FAULTS as error:
+            self._record_backend_failure(error)
+            return {}
+
+    def _backend_put_many(self, items: "list[tuple[bytes, _Entry]]") -> None:
+        """``backend.put_many`` that drops the batch if the store is gone."""
+        try:
+            self.backend.put_many(items)
+        except self._BACKEND_FAULTS as error:
+            self._record_backend_failure(error)
+
+    def _record_backend_failure(self, error: BaseException) -> None:
+        with self._lock:
+            self._backend_failures += 1
+            if not self._backend_failure_noted:
+                self._backend_failure_noted = True
+                self.notes.append(
+                    f"shared {self.backend.kind!r} cache backend failed mid-run "
+                    f"({error!r}); degraded to local-only operation "
+                    "(lookups miss, writes are dropped)"
+                )
 
     def _lookup(self, key: bytes, canonical: np.ndarray) -> "tuple[_Entry | None, bool]":
         """Find the matching entry; returns ``(entry, served_remotely)``.
@@ -347,7 +391,7 @@ class ResynthesisCache:
                     if _entries_match(entry.canonical, canonical, self.match_epsilon):
                         self._l1_touch(key)
                         return entry, key not in self._my_keys
-        fetched = self.backend.get_many([key]).get(key)
+        fetched = self._backend_get_many([key]).get(key)
         if not fetched:
             return None, False
         with self._lock:
@@ -436,7 +480,22 @@ class ResynthesisCache:
             storage = self.backend.stats()
         except Exception:
             storage = {}
+        dropped = int(storage.get("dropped_requests", 0))
+        unreachable = int(storage.get("unreachable_servers", 0))
         with self._lock:
+            # Degradations and persistence anomalies become notes the engine
+            # collects into PerfReport.notes — counters alone are easy to
+            # miss; a note names the failure in every report that saw it.
+            for note in storage.get("persist_notes", ()) or ():
+                if note not in self.notes:
+                    self.notes.append(note)
+            if (dropped or unreachable) and not self._tcp_degradation_noted:
+                self._tcp_degradation_noted = True
+                self.notes.append(
+                    f"tcp cache degraded mid-run: {unreachable} unreachable "
+                    f"server(s), {dropped} dropped request(s) — lookups on the "
+                    "lost key ranges missed and writes to them were lost"
+                )
             return CacheStats(
                 token=self.token,
                 backend=self.backend.kind,
@@ -447,6 +506,10 @@ class ResynthesisCache:
                 evictions=int(storage.get("evictions", 0)),
                 entries=int(storage.get("entries", 0)),
                 negative_entries=int(storage.get("negative_entries", 0)),
+                verify_failures=self._verify_failures,
+                dropped_requests=dropped,
+                unreachable_servers=unreachable,
+                backend_failures=self._backend_failures,
             )
 
     def clear(self) -> None:

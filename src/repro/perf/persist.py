@@ -1,0 +1,263 @@
+"""Crash-safe on-disk persistence for the resynthesis cache store.
+
+A cache server that restarts loses every synthesis result it ever verified —
+for a store whose value compounds across runs and hosts (see ``ROADMAP.md``,
+"persistent warm cache -> shared synthesis corpus"), that is the single
+biggest operational gap.  This module gives :class:`~repro.perf.shared_cache._BucketStore`
+a disk tier: an append-only, content-addressed, versioned *corpus file* the
+store can reload on start, so a restarted server (or a re-opened ``local``
+backend) serves warm hits from day one.
+
+Design rules, in order of importance:
+
+1. **Never crash on a bad file.**  A truncated, corrupt, zero-byte, or
+   foreign-version corpus loads as whatever intact prefix it holds (possibly
+   nothing) plus a human-readable note — surfaced through backend ``stats()``
+   into ``PerfReport.notes`` — and the store starts from there.  This is safe
+   because entries are self-verifying on hit: the front end re-proves every
+   reconstructed circuit against the query unitary before using it, so stale
+   or partial data can degrade hit rate, never correctness.
+2. **Atomic snapshots.**  :func:`write_corpus` writes a temporary file and
+   ``os.replace``\\ s it over the corpus, so a crash mid-snapshot (SIGKILL,
+   power loss) leaves the previous corpus intact — readers see the old file
+   or the new file, never a torn one.
+3. **Cheap incremental durability.**  :func:`append_corpus` appends
+   checksummed records without rewriting the file; a crash mid-append only
+   tears the final record, which the loader detects and drops.  Later records
+   for a key supersede earlier ones, so appends double as updates; a periodic
+   snapshot compacts the accumulated history.
+
+File layout (all integers big-endian)::
+
+    MAGIC (12 bytes) | version (4 bytes)          -- header
+    length (4) | crc32 (4) | payload (length)     -- record, repeated
+    ...
+
+where each payload is the pickle of ``(key, bucket)`` — the canonical
+content-addressed key bytes and its list of
+:class:`~repro.perf.shared_cache._Entry` records.  The CRC covers the
+payload, so bit rot inside a record is caught before unpickling.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from collections import OrderedDict
+
+#: corpus file magic: identifies the file type before any version check
+MAGIC = b"REPRO-CORPUS"
+
+#: on-disk format version; a mismatch loads as empty (with a note) rather
+#: than attempting cross-version decoding — the corpus is a cache, so the
+#: safe reaction to an unknown format is a cold start, never a crash
+CORPUS_VERSION = 1
+
+_HEADER = MAGIC + struct.pack(">I", CORPUS_VERSION)
+_RECORD_PREFIX = struct.Struct(">II")  # payload length, payload crc32
+
+#: how many puts a persistent store absorbs before appending the dirty
+#: buckets to disk (the durability/throughput knob; 1 = every batch)
+DEFAULT_FLUSH_INTERVAL = 64
+
+
+def _pack_record(key: bytes, bucket: list) -> bytes:
+    payload = pickle.dumps((key, bucket), protocol=pickle.HIGHEST_PROTOCOL)
+    return _RECORD_PREFIX.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def write_corpus(path, buckets: "OrderedDict | dict") -> int:
+    """Atomically snapshot ``key -> bucket`` to ``path``; returns bucket count.
+
+    The snapshot is written to a sibling temporary file, fsynced, and
+    ``os.replace``\\ d into place — a crash at any point leaves either the
+    previous corpus or the complete new one, never a torn file.  Iteration
+    order is preserved, so an LRU store's recency order survives the round
+    trip (the loader re-inserts oldest first).
+    """
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(_HEADER)
+            for key, bucket in buckets.items():
+                handle.write(_pack_record(key, list(bucket)))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+    return len(buckets)
+
+
+def append_corpus(path, items: "list[tuple[bytes, list]]") -> None:
+    """Append bucket records to ``path`` (creating it, with a header, if new).
+
+    Appends are the incremental-durability path: each record carries its own
+    checksum, so a crash mid-append tears at most the final record, which
+    :func:`load_corpus` detects and drops.  A record whose key already exists
+    earlier in the file supersedes it on load (last writer wins).
+    """
+    path = os.fspath(path)
+    with open(path, "ab") as handle:
+        if handle.tell() == 0:
+            handle.write(_HEADER)
+        for key, bucket in items:
+            handle.write(_pack_record(key, list(bucket)))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def load_corpus(path) -> "tuple[OrderedDict, list[str]]":
+    """Load a corpus file tolerantly; returns ``(buckets, notes)``.
+
+    Every anomaly degrades instead of raising: a missing file is a silent
+    cold start; a zero-byte, foreign-magic, or foreign-version file loads as
+    empty with a note; a truncated or corrupt record drops itself and every
+    record after it (framing past a bad record cannot be trusted) while the
+    intact prefix survives, again with a note.  Notes are operator-facing
+    strings meant for ``PerfReport.notes``.
+    """
+    path = os.fspath(path)
+    name = os.path.basename(path)
+    buckets: "OrderedDict[bytes, list]" = OrderedDict()
+    notes: "list[str]" = []
+    if not os.path.exists(path):
+        return buckets, notes  # first run: cold start is the expected case
+    with open(path, "rb") as handle:
+        header = handle.read(len(_HEADER))
+        if not header:
+            notes.append(f"persistent store {name!r} is zero bytes; starting cold")
+            return buckets, notes
+        if len(header) < len(_HEADER) or header[: len(MAGIC)] != MAGIC:
+            notes.append(
+                f"persistent store {name!r} is not a repro cache corpus "
+                "(bad magic); starting cold"
+            )
+            return buckets, notes
+        (version,) = struct.unpack(">I", header[len(MAGIC) :])
+        if version != CORPUS_VERSION:
+            notes.append(
+                f"persistent store {name!r} has foreign format version {version} "
+                f"(this build reads {CORPUS_VERSION}); starting cold"
+            )
+            return buckets, notes
+        while True:
+            prefix = handle.read(_RECORD_PREFIX.size)
+            if not prefix:
+                break  # clean end of file
+            if len(prefix) < _RECORD_PREFIX.size:
+                notes.append(
+                    f"persistent store {name!r} ends mid-record (torn append); "
+                    f"recovered {len(buckets)} bucket(s) before the tear"
+                )
+                break
+            length, crc = _RECORD_PREFIX.unpack(prefix)
+            payload = handle.read(length)
+            if len(payload) < length:
+                notes.append(
+                    f"persistent store {name!r} ends mid-record (torn append); "
+                    f"recovered {len(buckets)} bucket(s) before the tear"
+                )
+                break
+            if zlib.crc32(payload) != crc:
+                notes.append(
+                    f"persistent store {name!r} has a corrupt record (checksum "
+                    f"mismatch); recovered {len(buckets)} bucket(s) before it, "
+                    "dropping the rest"
+                )
+                break
+            try:
+                key, bucket = pickle.loads(payload)
+            except Exception:  # noqa: BLE001 - any undecodable record is corruption
+                notes.append(
+                    f"persistent store {name!r} has an undecodable record; "
+                    f"recovered {len(buckets)} bucket(s) before it, dropping the rest"
+                )
+                break
+            buckets[key] = list(bucket)
+            buckets.move_to_end(key)  # later records are fresher (LRU order)
+    return buckets, notes
+
+
+class CorpusPersister:
+    """One store's disk tier: load at start, append dirty keys, snapshot.
+
+    Owned by a :class:`~repro.perf.shared_cache._BucketStore` constructed
+    with a ``store_path``; all methods that touch bucket state are called
+    under the store's lock, so the persister itself needs no locking.  Disk
+    write failures never propagate — the store keeps serving from memory and
+    the failure is recorded as a note.
+    """
+
+    def __init__(self, path, flush_interval: int = DEFAULT_FLUSH_INTERVAL) -> None:
+        if flush_interval < 1:
+            raise ValueError("flush_interval must be at least 1")
+        self.path = os.fspath(path)
+        self.flush_interval = flush_interval
+        #: load/write anomalies, surfaced via store ``stats()["persist_notes"]``
+        self.notes: "list[str]" = []
+        self.loaded_entries = 0
+        self._dirty: "set[bytes]" = set()
+        self._puts_since_flush = 0
+
+    def load(self) -> "OrderedDict[bytes, list]":
+        """Read the corpus (tolerantly), recording notes and the entry count."""
+        buckets, notes = load_corpus(self.path)
+        self.notes.extend(notes)
+        self.loaded_entries = sum(len(bucket) for bucket in buckets.values())
+        return buckets
+
+    def record_put(self, key: bytes) -> None:
+        self._dirty.add(key)
+        self._puts_since_flush += 1
+
+    @property
+    def should_flush(self) -> bool:
+        return self._puts_since_flush >= self.flush_interval
+
+    def append_dirty(self, buckets: "OrderedDict[bytes, list]") -> None:
+        """Append every dirty bucket that still exists (evicted ones skip)."""
+        items = [(key, buckets[key]) for key in self._dirty if key in buckets]
+        self._dirty.clear()
+        self._puts_since_flush = 0
+        if not items:
+            return
+        try:
+            append_corpus(self.path, items)
+        except OSError as error:
+            self._note_write_failure("append", error)
+
+    def snapshot(self, buckets: "OrderedDict[bytes, list]") -> None:
+        """Full atomic rewrite: compacts append history and drops evictees."""
+        self._dirty.clear()
+        self._puts_since_flush = 0
+        try:
+            write_corpus(self.path, buckets)
+        except OSError as error:
+            self._note_write_failure("snapshot", error)
+
+    def _note_write_failure(self, operation: str, error: OSError) -> None:
+        note = (
+            f"persistent store {os.path.basename(self.path)!r} {operation} failed "
+            f"({error!r}); serving from memory only"
+        )
+        if note not in self.notes:
+            self.notes.append(note)
+
+
+__all__ = [
+    "CORPUS_VERSION",
+    "DEFAULT_FLUSH_INTERVAL",
+    "CorpusPersister",
+    "MAGIC",
+    "append_corpus",
+    "load_corpus",
+    "write_corpus",
+]

@@ -35,6 +35,20 @@ class CacheStats:
     evictions: int = 0
     entries: int = 0
     negative_entries: int = 0
+    #: hits whose reconstructed replacement failed re-verification against
+    #: the query unitary (each one was served as a miss; nonzero values point
+    #: at key-space collisions or a damaged store, never at a wrong result)
+    verify_failures: int = 0
+    #: requests a degraded ``tcp`` backend dropped after its server died
+    #: mid-run (gets answered as misses, puts silently lost to that server)
+    dropped_requests: int = 0
+    #: how many configured ``tcp`` servers this front end's backend has
+    #: marked dead (0 for every other backend)
+    unreachable_servers: int = 0
+    #: backend round trips the front end absorbed after a connection-level
+    #: failure (``server``/``shm`` stores lost mid-run degrade to local
+    #: misses instead of crashing the run)
+    backend_failures: int = 0
 
     @property
     def lookups(self) -> int:
@@ -58,6 +72,10 @@ class CacheStats:
             "evictions": self.evictions,
             "entries": self.entries,
             "negative_entries": self.negative_entries,
+            "verify_failures": self.verify_failures,
+            "dropped_requests": self.dropped_requests,
+            "unreachable_servers": self.unreachable_servers,
+            "backend_failures": self.backend_failures,
         }
 
 
@@ -104,6 +122,25 @@ class PerfReport:
         """Hits on entries another worker inserted into a shared backend."""
         return sum(stats.remote_hits for stats in self.caches)
 
+    @property
+    def cache_verify_failures(self) -> int:
+        """Hits that failed re-verification (served as misses) across caches."""
+        return sum(stats.verify_failures for stats in self.caches)
+
+    @property
+    def cache_dropped_requests(self) -> int:
+        """Requests degraded backends dropped mid-run (0 = healthy fleet)."""
+        return sum(stats.dropped_requests + stats.backend_failures for stats in self.caches)
+
+    @property
+    def cache_unreachable_servers(self) -> int:
+        """Most cache servers any one front end saw dead mid-run.
+
+        The max, not the sum: every worker's backend copy watches the *same*
+        server fleet, so summing would count one dead server once per worker.
+        """
+        return max((stats.unreachable_servers for stats in self.caches), default=0)
+
     def to_dict(self) -> dict:
         """JSON-serializable form, the shape embedded in ``BENCH_*.json``."""
         return {
@@ -117,6 +154,9 @@ class PerfReport:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
             "cache_remote_hits": self.cache_remote_hits,
+            "cache_verify_failures": self.cache_verify_failures,
+            "cache_dropped_requests": self.cache_dropped_requests,
+            "cache_unreachable_servers": self.cache_unreachable_servers,
             "caches": [stats.to_dict() for stats in self.caches],
             "notes": list(self.notes),
         }

@@ -57,6 +57,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.perf.persist import DEFAULT_FLUSH_INTERVAL, CorpusPersister
 from repro.synthesis.resynth import ResynthesisOutcome
 
 BACKEND_KINDS = ("local", "shm", "server", "tcp")
@@ -144,9 +145,23 @@ class _BucketStore:
     front).  ``maxsize`` bounds the total entry count, not the bucket count.
     This is both the ``local`` backend's store and the server process's
     store, so local and server caches share one eviction policy bit for bit.
+
+    ``store_path`` attaches the crash-safe disk tier of
+    :mod:`repro.perf.persist`: the corpus file is reloaded (tolerantly —
+    a damaged file degrades to its intact prefix plus a note, never a crash)
+    on construction, dirty buckets are appended every ``flush_interval``
+    puts, and :meth:`snapshot` compacts the file atomically.  Persistence
+    never crosses a pickle boundary: a store copy shipped to another process
+    drops the persister, so exactly one process ever writes a given file.
     """
 
-    def __init__(self, maxsize: int = 512, match_epsilon: float = 1e-9) -> None:
+    def __init__(
+        self,
+        maxsize: int = 512,
+        match_epsilon: float = 1e-9,
+        store_path=None,
+        flush_interval: int = DEFAULT_FLUSH_INTERVAL,
+    ) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be at least 1")
         self.maxsize = maxsize
@@ -156,6 +171,18 @@ class _BucketStore:
         self._puts = 0
         self._evictions = 0
         self._lock = threading.Lock()
+        self._persister: "CorpusPersister | None" = None
+        if store_path is not None:
+            self._persister = CorpusPersister(store_path, flush_interval=flush_interval)
+            for key, bucket in self._persister.load().items():
+                self._buckets[key] = bucket
+                self._count += len(bucket)
+            # Reloads respect the live bound: a corpus written under a larger
+            # maxsize sheds its least-recent buckets (not counted as runtime
+            # evictions — nothing was ever resident here).
+            while self._count > self.maxsize and self._buckets:
+                _, dropped = self._buckets.popitem(last=False)
+                self._count -= len(dropped)
 
     # -- reads ---------------------------------------------------------------
 
@@ -206,10 +233,18 @@ class _BucketStore:
                     self._count += 1
                 self._puts += 1
                 self._buckets.move_to_end(key)
+                if self._persister is not None:
+                    self._persister.record_put(key)
             while self._count > self.maxsize and self._buckets:
                 _, evicted = self._buckets.popitem(last=False)
                 self._count -= len(evicted)
                 self._evictions += len(evicted)
+            if self._persister is not None and self._persister.should_flush:
+                # Under the lock: append-only I/O on the write path, amortized
+                # over ``flush_interval`` puts; a crash between flushes loses
+                # at most that window (and the snapshot on shutdown catches
+                # the tail for clean exits).
+                self._persister.append_dirty(self._buckets)
 
     # -- introspection -------------------------------------------------------
 
@@ -221,17 +256,33 @@ class _BucketStore:
                 for entry in bucket
                 if entry.outcome is None
             )
-            return {
+            result = {
                 "entries": self._count,
                 "puts": self._puts,
                 "evictions": self._evictions,
                 "negative_entries": negative,
             }
+            if self._persister is not None:
+                result["persist_path"] = self._persister.path
+                result["persist_loaded_entries"] = self._persister.loaded_entries
+                result["persist_notes"] = list(self._persister.notes)
+            return result
 
     def clear(self) -> None:
         with self._lock:
             self._buckets.clear()
             self._count = 0
+            if self._persister is not None:
+                # An explicit clear must survive a restart too.
+                self._persister.snapshot(self._buckets)
+
+    def snapshot(self) -> bool:
+        """Atomically persist the full store; False when not persistent."""
+        if self._persister is None:
+            return False
+        with self._lock:
+            self._persister.snapshot(self._buckets)
+        return True
 
     def __len__(self) -> int:
         return self._count
@@ -241,6 +292,9 @@ class _BucketStore:
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         del state["_lock"]
+        # The disk tier stays with the originating process: if pickled copies
+        # kept the path, every worker fork would fight over one corpus file.
+        state["_persister"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -260,7 +314,8 @@ class LocalBackend(_BucketStore):
     shared_across_processes = False
 
     def close(self) -> None:
-        """Nothing to tear down for an in-process store."""
+        """Persist the store if a disk tier is attached; nothing else held."""
+        self.snapshot()
 
 
 class ShmBackend:
@@ -527,7 +582,13 @@ def _serve_client(connection, store: _BucketStore, stop: threading.Event) -> Non
 
 
 def _serve_cache(
-    bootstrap, authkey: bytes, maxsize: int, match_epsilon: float, address=None
+    bootstrap,
+    authkey: bytes,
+    maxsize: int,
+    match_epsilon: float,
+    address=None,
+    store_path=None,
+    flush_interval: int = DEFAULT_FLUSH_INTERVAL,
 ) -> None:
     """Cache-server process entry point (spawn-safe: module level, plain args).
 
@@ -537,26 +598,51 @@ def _serve_cache(
     ``bootstrap`` pipe if one is given, then accepts worker connections until
     one of them sends ``shutdown``.  Every connection is served by a daemon
     thread against one shared :class:`_BucketStore`.
+
+    With a ``store_path`` the store reloads the on-disk corpus at bind time
+    and snapshots it on every exit path short of SIGKILL: the protocol
+    ``shutdown`` op, an unexpected listener error, and SIGTERM (which is how
+    ``Process.terminate()`` and service managers stop the server).  A SIGKILL
+    loses only the puts since the last incremental append.
     """
-    store = _BucketStore(maxsize=maxsize, match_epsilon=match_epsilon)
+    store = _BucketStore(
+        maxsize=maxsize,
+        match_epsilon=match_epsilon,
+        store_path=store_path,
+        flush_interval=flush_interval,
+    )
     stop = threading.Event()
-    with Listener(address=address, authkey=bytes(authkey)) as listener:
-        if bootstrap is not None:
-            bootstrap.send(listener.address)
-            bootstrap.close()
-        while not stop.is_set():
-            try:
-                connection = listener.accept()
-            except Exception:
-                if stop.is_set():
-                    break
-                continue
-            threading.Thread(
-                target=_serve_client, args=(connection, store, stop), daemon=True
-            ).start()
-            # ``accept`` only returns when a client dials in, so the loop
-            # re-checks ``stop`` exactly when the shutdown request's extra
-            # wake-up connection (below) arrives.
+    if store_path is not None:
+        import signal
+
+        def _graceful_terminate(signum, frame):
+            stop.set()
+            raise SystemExit(0)  # unwinds accept(); the finally below snapshots
+
+        try:
+            signal.signal(signal.SIGTERM, _graceful_terminate)
+        except ValueError:
+            pass  # not the main thread (embedded use); rely on clean shutdown
+    try:
+        with Listener(address=address, authkey=bytes(authkey)) as listener:
+            if bootstrap is not None:
+                bootstrap.send(listener.address)
+                bootstrap.close()
+            while not stop.is_set():
+                try:
+                    connection = listener.accept()
+                except Exception:
+                    if stop.is_set():
+                        break
+                    continue
+                threading.Thread(
+                    target=_serve_client, args=(connection, store, stop), daemon=True
+                ).start()
+                # ``accept`` only returns when a client dials in, so the loop
+                # re-checks ``stop`` exactly when the shutdown request's extra
+                # wake-up connection (below) arrives.
+    finally:
+        store.snapshot()
 
 
 class ServerBackend:
@@ -586,8 +672,15 @@ class ServerBackend:
         maxsize: int = 512,
         match_epsilon: float = 1e-9,
         start_timeout: float = 30.0,
+        store_path=None,
+        flush_interval: int = DEFAULT_FLUSH_INTERVAL,
     ) -> "ServerBackend":
-        """Launch the server process and return the owning client handle."""
+        """Launch the server process and return the owning client handle.
+
+        ``store_path`` gives the server the crash-safe disk tier: it reloads
+        the corpus on start and snapshots it on shutdown/terminate, so the
+        next ``start`` against the same path begins warm.
+        """
         import multiprocessing
 
         authkey = secrets.token_bytes(16)
@@ -595,7 +688,15 @@ class ServerBackend:
         bootstrap_recv, bootstrap_send = context.Pipe(duplex=False)
         process = context.Process(
             target=_serve_cache,
-            args=(bootstrap_send, authkey, maxsize, match_epsilon),
+            args=(
+                bootstrap_send,
+                authkey,
+                maxsize,
+                match_epsilon,
+                None,
+                store_path,
+                flush_interval,
+            ),
             daemon=True,
             name="resynth-cache-server",
         )
@@ -901,11 +1002,20 @@ class TcpCacheBackend:
 
     def stats(self) -> dict:
         totals = {"entries": 0, "puts": 0, "evictions": 0, "negative_entries": 0}
+        persist_notes: "list[str]" = []
         for server_index in range(len(self.servers)):
             reply = self._request_degraded(server_index, "stats", fallback=None)
             if reply:
                 for field_name in totals:
                     totals[field_name] += int(reply.get(field_name, 0))
+                # Persistence anomalies (corrupt corpus, failed writes) are
+                # recorded server-side; forward them so clients can surface
+                # them in PerfReport.notes.
+                for note in reply.get("persist_notes", ()) or ():
+                    if note not in persist_notes:
+                        persist_notes.append(note)
+        if persist_notes:
+            totals["persist_notes"] = persist_notes
         with self._stats_lock:
             totals["unreachable_servers"] = len(self._dead)
             totals["dropped_requests"] = self._dropped
@@ -963,6 +1073,8 @@ def create_backend(
     maxsize: int = 512,
     match_epsilon: float = 1e-9,
     stripes: int = 8,
+    store_path=None,
+    flush_interval: int = DEFAULT_FLUSH_INTERVAL,
 ):
     """Build a cache backend by name, or raise :class:`SharedCacheUnavailable`.
 
@@ -972,8 +1084,20 @@ def create_backend(
     ``tcp://host:port[,host:port...]`` URL builds a :class:`TcpCacheBackend`
     against already-running network cache servers; any unreachable server is
     likewise a :class:`SharedCacheUnavailable`.
+
+    ``store_path`` attaches the crash-safe disk tier (``docs/caching.md``,
+    "Persistence tier") to the backends that own a store: ``local`` reloads
+    on construction and persists on ``close()``; ``server`` hands the path to
+    its child process.  ``shm`` and ``tcp`` clients own no store — a TCP
+    *server* persists via its own ``--store`` flag — so the combination is
+    rejected rather than silently ignored.
     """
     if kind.startswith(TCP_URL_PREFIX):
+        if store_path is not None:
+            raise ValueError(
+                "store_path applies to the cache server, not the tcp client; "
+                "start the server with --store PATH instead"
+            )
         try:
             return TcpCacheBackend.from_url(kind)
         except SharedCacheUnavailable:
@@ -983,8 +1107,15 @@ def create_backend(
                 f"tcp cache backend unavailable for {kind!r}: {error!r}"
             ) from error
     if kind == "local":
-        return LocalBackend(maxsize=maxsize, match_epsilon=match_epsilon)
+        return LocalBackend(
+            maxsize=maxsize,
+            match_epsilon=match_epsilon,
+            store_path=store_path,
+            flush_interval=flush_interval,
+        )
     if kind == "shm":
+        if store_path is not None:
+            raise ValueError("the shm backend does not support store_path")
         try:
             return ShmBackend(maxsize=maxsize, match_epsilon=match_epsilon, stripes=stripes)
         except SharedCacheUnavailable:
@@ -993,7 +1124,12 @@ def create_backend(
             raise SharedCacheUnavailable(f"shm cache backend unavailable: {error!r}") from error
     if kind == "server":
         try:
-            return ServerBackend.start(maxsize=maxsize, match_epsilon=match_epsilon)
+            return ServerBackend.start(
+                maxsize=maxsize,
+                match_epsilon=match_epsilon,
+                store_path=store_path,
+                flush_interval=flush_interval,
+            )
         except SharedCacheUnavailable:
             raise
         except Exception as error:
