@@ -154,6 +154,8 @@ class GuoqRun:
         self._error_current = 0.0
         self._error_best = 0.0
         self._iterations = 0
+        self._quanta = 0
+        self._last_step_iterations = 0
         self._accepted = 0
         self._rejected = 0
         self._skipped = 0
@@ -187,6 +189,11 @@ class GuoqRun:
         optimizer = self._optimizer
         rng = self._rng
         base = self._elapsed
+        # Step-quantum accounting for external schedulers (repro.serve):
+        # quanta counts the step() calls that actually ran, and the iteration
+        # delta of each is published as ``last_step_iterations``.
+        self._quanta += 1
+        quantum_start = self._iterations
         resume = time.monotonic()
         try:
             for _ in range(iterations):
@@ -276,6 +283,7 @@ class GuoqRun:
                         )
         finally:
             self._elapsed = base + (time.monotonic() - resume)
+            self._last_step_iterations = self._iterations - quantum_start
         return not self._done
 
     def inject_incumbent(
@@ -314,6 +322,16 @@ class GuoqRun:
     @property
     def iterations(self) -> int:
         return self._iterations
+
+    @property
+    def quanta(self) -> int:
+        """How many ``step()`` quanta have run (scheduler accounting)."""
+        return self._quanta
+
+    @property
+    def last_step_iterations(self) -> int:
+        """Iterations consumed by the most recent ``step()`` quantum."""
+        return self._last_step_iterations
 
     @property
     def elapsed(self) -> float:

@@ -47,6 +47,7 @@ _EXPORT_MODULES = {
     "validate_job_cases": "repro.distrib.plan",
     "DEFAULT_DISTRIB_AUTHKEY": "repro.distrib.worker",
     "HostAgent": "repro.distrib.worker",
+    "case_optimizer": "repro.distrib.worker",
     "execute_shard": "repro.distrib.worker",
     "run_host_agent": "repro.distrib.worker",
     "run_local": "repro.distrib.worker",
@@ -80,6 +81,7 @@ __all__ = [
     "Shard",
     "ShardPlan",
     "ShardResult",
+    "case_optimizer",
     "circuit_fingerprint",
     "execute_shard",
     "job_case_names",

@@ -26,6 +26,7 @@ from repro.perf.persist import DEFAULT_FLUSH_INTERVAL
 from repro.perf.shared_cache import (
     SharedCacheUnavailable,
     _serve_cache,
+    parse_backend_spec,
     tcp_cache_authkey,
 )
 
@@ -88,32 +89,53 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument("--host", default="127.0.0.1", help="address to bind (0.0.0.0 for LAN)")
     parser.add_argument("--port", type=int, required=True, help="port to bind")
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="SPEC",
+        help="spec of the store this server serves, e.g. "
+        "'local:?store=PATH&flush_every=N&maxsize=N' — the spec's query "
+        "values override --maxsize/--match-epsilon",
+    )
     parser.add_argument("--maxsize", type=int, default=4096, help="entry bound of the LRU store")
     parser.add_argument("--match-epsilon", type=float, default=1e-9)
     parser.add_argument(
         "--authkey", default=None, help="connection authkey (default: $REPRO_CACHE_AUTHKEY)"
     )
-    parser.add_argument(
-        "--store",
-        default=None,
-        metavar="PATH",
-        help="persist the store to this corpus file: reloaded on start, "
-        "appended to incrementally, snapshotted on shutdown/SIGTERM",
-    )
+    # Legacy spellings of --cache 'local:?store=...&flush_every=...'; kept
+    # working (lowest precedence) but hidden from --help.
+    parser.add_argument("--store", default=None, metavar="PATH", help=argparse.SUPPRESS)
     parser.add_argument(
         "--flush-every",
         type=int,
         default=DEFAULT_FLUSH_INTERVAL,
         metavar="PUTS",
-        help="puts between incremental disk appends (with --store); "
-        "bounds what an abrupt kill can lose",
+        help=argparse.SUPPRESS,
     )
     args = parser.parse_args(argv)
+    maxsize = args.maxsize
+    match_epsilon = args.match_epsilon
+    store_path = args.store
+    flush_interval = args.flush_every
+    if args.cache:
+        try:
+            spec = parse_backend_spec(args.cache)
+        except (ValueError, TypeError) as error:
+            parser.error(str(error))
+        if spec.kind != "local":
+            parser.error(
+                f"--cache {args.cache!r}: a cache server serves a local store; "
+                "pass a 'local:' spec (clients dial it as tcp://)"
+            )
+        maxsize = spec.maxsize if spec.maxsize is not None else maxsize
+        match_epsilon = spec.match_epsilon if spec.match_epsilon is not None else match_epsilon
+        store_path = spec.store_path if spec.store_path is not None else store_path
+        flush_interval = spec.flush_interval if spec.flush_interval is not None else flush_interval
     key = args.authkey.encode() if args.authkey else tcp_cache_authkey()
-    store_note = f"; store {args.store}" if args.store else ""
+    store_note = f"; store {store_path}" if store_path else ""
     print(
         f"[cache-server] serving on {args.host}:{args.port} "
-        f"(maxsize {args.maxsize}){store_note}; url tcp://{args.host}:{args.port}",
+        f"(maxsize {maxsize}){store_note}; url tcp://{args.host}:{args.port}",
         flush=True,
     )
     # Blocks until a client sends the protocol ``shutdown`` op (or the
@@ -121,11 +143,11 @@ def main(argv: "list[str] | None" = None) -> int:
     _serve_cache(
         None,
         key,
-        args.maxsize,
-        args.match_epsilon,
+        maxsize,
+        match_epsilon,
         (args.host, args.port),
-        args.store,
-        args.flush_every,
+        store_path,
+        flush_interval,
     )
     print("[cache-server] shut down")
     return 0

@@ -23,10 +23,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import socket
 import threading
 import time
 from collections import deque
-from multiprocessing.connection import Client, Listener
+from multiprocessing.connection import Listener
 
 from repro.distrib.merge import (
     DistributedSuiteResult,
@@ -168,11 +169,16 @@ def _serve_agent(connection, state: _CoordinatorState, job: DistributedJob) -> N
 
 
 def _wake_listener(address, authkey: bytes, finished: threading.Event, deadline: "float | None"):
-    """Unblock the accept loop when the run finishes (or the deadline passes)."""
+    """Unblock the accept loop when the run finishes (or the deadline passes).
+
+    A raw timed connect, not an authenticated ``Client``: if the accept loop
+    has already exited, a full dial would wait forever in the listen backlog
+    for a challenge nobody sends.
+    """
     finished.wait(None if deadline is None else max(0.0, deadline - time.monotonic()))
     try:
-        Client(address, authkey=authkey).close()
-    except (OSError, ConnectionError):
+        socket.create_connection(address, timeout=2.0).close()
+    except OSError:
         pass
 
 
@@ -195,6 +201,7 @@ class Coordinator:
         authkey: "bytes | None" = None,
         timeout: "float | None" = None,
         max_shard_attempts: int = 5,
+        drain_pool: bool = True,
     ) -> None:
         # Fail before binding: a case name no host can resolve would fail
         # deterministically on every assignment (see requeue's attempt cap).
@@ -206,6 +213,10 @@ class Coordinator:
         self.authkey = bytes(authkey) if authkey is not None else distrib_authkey()
         self.timeout = timeout
         self.max_shard_attempts = max_shard_attempts
+        # The connection pool is process-wide: a coordinator embedded in a
+        # process with *other* live pool users (the serve layer's offload —
+        # its clients share the pool) must not drain it under them.
+        self.drain_pool = drain_pool
         self._address: "tuple[str, int] | None" = None
         self._bound = threading.Event()
         self._thread: "threading.Thread | None" = None
@@ -234,7 +245,8 @@ class Coordinator:
         try:
             return self._serve()
         finally:
-            drain_connection_pool()
+            if self.drain_pool:
+                drain_connection_pool()
 
     def _serve(self) -> DistributedSuiteResult:
         state = _CoordinatorState(self.plan, max_shard_attempts=self.max_shard_attempts)
@@ -384,8 +396,10 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--cache",
         default=None,
-        metavar="tcp://HOST:PORT[,...]",
-        help="shared resynthesis cache URL every host attaches to",
+        metavar="SPEC",
+        help="shared resynthesis cache backend spec every host attaches to "
+        "(tcp://HOST:PORT[,...] for cross-host sharing; see docs/serving.md "
+        "for the full grammar)",
     )
     parser.add_argument("--timeout", type=float, default=None, help="abort after this many seconds")
     parser.add_argument("--output", default=None, help="write the merged summary json here")
@@ -393,6 +407,18 @@ def main(argv: "list[str] | None" = None) -> int:
         "--emit-bench", default=None, help="write a check_regression.py-compatible BENCH json"
     )
     args = parser.parse_args(argv)
+
+    cache_spec = None
+    if args.cache:
+        from repro.perf.shared_cache import parse_backend_spec
+
+        # Validate and canonicalize before anything ships: a typo'd spec
+        # should die here, not deterministically on every host, and hosts
+        # should all see the one canonical spelling.
+        try:
+            cache_spec = parse_backend_spec(args.cache).canonical
+        except (ValueError, TypeError) as error:
+            parser.error(str(error))
 
     job = DistributedJob(
         suite=args.suite,
@@ -408,7 +434,7 @@ def main(argv: "list[str] | None" = None) -> int:
         include_resynthesis=not args.no_resynthesis,
         synthesis_time_budget=args.synthesis_time_budget,
         resynthesis_probability=args.resynthesis_probability,
-        share_resynthesis_cache=args.cache,
+        share_resynthesis_cache=cache_spec,
     )
     if args.cases:
         case_names = [name.strip() for name in args.cases.split(",") if name.strip()]

@@ -57,7 +57,15 @@ def build_cases(job: DistributedJob, names: "list[str]") -> "dict[str, object]":
 
     gate_set = get_gate_set(job.gate_set)
     circuits: "dict[str, object]" = {}
-    if job.suite == "builtin":
+    if job.suite == "inline":
+        # The one suite whose circuits travel with the job (client-submitted
+        # work has no generator to rebuild from).
+        inline = dict(job.inline_circuits or ())
+        for name in names:
+            if name not in inline:
+                raise ValueError(f"unknown inline case {name!r}")
+            circuits[name] = inline[name]
+    elif job.suite == "builtin":
         for name in names:
             generator = getattr(suite_generators, name, None)
             if generator is None or not callable(generator):
@@ -75,18 +83,29 @@ def build_cases(job: DistributedJob, names: "list[str]") -> "dict[str, object]":
     return circuits
 
 
-def run_case(job: DistributedJob, run: CaseRun, circuit) -> "object":
-    """Optimize one case exactly as any host in the cluster would.
+def case_optimizer(
+    job: DistributedJob,
+    seed: "int | None",
+    share_resynthesis_cache: "object | None" = None,
+) -> "object":
+    """Build the :class:`~repro.parallel.PortfolioOptimizer` for one case.
 
-    Builds a fresh transformation set seeded from the run's derived seed and
-    drives a local portfolio; the result is deterministic in ``run.seed``
-    when iteration-bounded and no cross-host cache is configured.
+    The one construction path every execution mode goes through — host
+    agents (:func:`run_case`), the serve layer's resident jobs, and its
+    offloaded ones — so a given ``(job, seed)`` always yields an identical
+    optimizer and interchanging modes cannot perturb outcomes.
+
+    ``share_resynthesis_cache`` overrides the job's cache field when the
+    caller holds a live cache *instance* to adopt (the serve scheduler's
+    per-job front ends over one shared backend); ``None`` defers to the job.
     """
     from repro.core.guoq import GuoqConfig
     from repro.core.instantiate import default_objective, default_transformations
     from repro.gatesets.base import get_gate_set
     from repro.parallel.portfolio import PortfolioConfig, PortfolioOptimizer
 
+    if share_resynthesis_cache is None:
+        share_resynthesis_cache = job.share_resynthesis_cache
     gate_set = get_gate_set(job.gate_set)
     objective = default_objective(gate_set, job.objective)
     transformations = default_transformations(
@@ -95,30 +114,39 @@ def run_case(job: DistributedJob, run: CaseRun, circuit) -> "object":
         include_rewrites=job.include_rewrites,
         include_resynthesis=job.include_resynthesis,
         synthesis_time_budget=job.synthesis_time_budget,
-        rng=run.seed,
+        rng=seed,
         # The portfolio attaches the (possibly tcp-shared) cache itself;
         # a second private cache here would only shadow it.
-        resynthesis_cache=None if job.share_resynthesis_cache else True,
+        resynthesis_cache=None if share_resynthesis_cache else True,
     )
     config = PortfolioConfig(
         search=GuoqConfig(
             epsilon_budget=job.epsilon_budget,
             time_limit=job.time_limit,
             max_iterations=job.max_iterations,
-            seed=run.seed,
+            seed=seed,
             resynthesis_probability=job.resynthesis_probability,
         ),
         num_workers=job.num_workers,
         exchange_interval=job.exchange_interval,
         backend=job.backend,
     )
-    optimizer = PortfolioOptimizer(
+    return PortfolioOptimizer(
         transformations,
         cost=objective,
         config=config,
-        share_resynthesis_cache=job.share_resynthesis_cache,
+        share_resynthesis_cache=share_resynthesis_cache,
     )
-    return optimizer.optimize(circuit)
+
+
+def run_case(job: DistributedJob, run: CaseRun, circuit) -> "object":
+    """Optimize one case exactly as any host in the cluster would.
+
+    Builds a fresh transformation set seeded from the run's derived seed and
+    drives a local portfolio; the result is deterministic in ``run.seed``
+    when iteration-bounded and no cross-host cache is configured.
+    """
+    return case_optimizer(job, run.seed).optimize(circuit)
 
 
 def execute_shard(job: DistributedJob, shard: Shard, host: str) -> ShardResult:
@@ -186,6 +214,7 @@ class HostAgent:
         connect_timeout: float = 30.0,
         poll_interval: float = 0.2,
         shard_delay: float = 0.0,
+        drain_pool: bool = True,
     ) -> None:
         self.address = (str(address[0]), int(address[1]))
         self.authkey = bytes(authkey) if authkey is not None else distrib_authkey()
@@ -198,6 +227,12 @@ class HostAgent:
         self.connect_timeout = connect_timeout
         self.poll_interval = poll_interval
         self.shard_delay = shard_delay
+        # The connection pool is process-wide.  A dedicated agent process
+        # drains it between runs so dead servers' sockets don't pile up; an
+        # agent running as a *thread* of a larger program (the serve layer's
+        # in-process offload) must not — the pool also carries its
+        # neighbours' live connections.
+        self.drain_pool = drain_pool
 
     def _connect(self):
         from multiprocessing.connection import Client
@@ -276,7 +311,8 @@ class HostAgent:
                 pass
             # A long-lived agent outlives many runs (and their tcp caches):
             # drop pooled sockets so dead servers don't accumulate fds.
-            drain_connection_pool()
+            if self.drain_pool:
+                drain_connection_pool()
         return completed
 
 
@@ -286,6 +322,7 @@ def run_host_agent(
     name: "str | None" = None,
     connect_timeout: float = 30.0,
     shard_delay: float = 0.0,
+    drain_pool: bool = True,
 ) -> int:
     """Module-level agent entry point (spawn-safe ``Process`` target)."""
     agent = HostAgent(
@@ -294,6 +331,7 @@ def run_host_agent(
         name=name,
         connect_timeout=connect_timeout,
         shard_delay=shard_delay,
+        drain_pool=drain_pool,
     )
     return agent.run()
 

@@ -12,6 +12,7 @@ from repro.parallel.portfolio import (
     PortfolioConfig,
     PortfolioOptimizer,
     PortfolioResult,
+    PortfolioRun,
     optimize_circuit_portfolio,
 )
 from repro.parallel.variants import VariantSpec, assign_variants, default_variants
@@ -22,6 +23,7 @@ __all__ = [
     "PortfolioConfig",
     "PortfolioOptimizer",
     "PortfolioResult",
+    "PortfolioRun",
     "RoundExecutor",
     "VariantSpec",
     "assign_variants",

@@ -138,14 +138,17 @@ class PortfolioOptimizer:
     """Drive ``N`` GUOQ workers with periodic best-incumbent exchange.
 
     ``share_resynthesis_cache`` selects how resynthesis outcomes are shared
-    across workers (see ``docs/caching.md`` for the backend matrix):
+    across workers, as a backend spec string parsed by
+    :func:`repro.perf.parse_backend_spec` (see ``docs/caching.md`` for the
+    backend matrix; the legacy ``True``/bare-kind spellings still work but
+    emit a :class:`DeprecationWarning`):
 
     * ``None``/``False`` — workers keep whatever private caches their
       transformations carry (the default).
-    * ``True`` or ``"local"`` — one in-process shared cache; reuse spans
+    * ``"local:"`` — one in-process shared cache; reuse spans
       serial/thread workers, while the processes backend forks private
       copies per worker (recorded in ``result.perf.notes``).
-    * ``"shm"`` / ``"server"`` — a cross-process shared store
+    * ``"shm:"`` / ``"server:"`` — a cross-process shared store
       (:mod:`repro.perf.shared_cache`) the driver owns: created when
       ``optimize`` starts and torn down when it returns.  If the platform
       cannot bring the backend up, the run degrades to ``"local"`` and says
@@ -168,7 +171,7 @@ class PortfolioOptimizer:
         transformations: list[Transformation],
         cost: "CostFunction | None" = None,
         config: "PortfolioConfig | None" = None,
-        share_resynthesis_cache: "bool | str | ResynthesisCache | None" = None,
+        share_resynthesis_cache: "bool | str | BackendSpec | ResynthesisCache | None" = None,
     ) -> None:
         if not transformations:
             raise ValueError("a portfolio needs at least one transformation")
@@ -185,31 +188,41 @@ class PortfolioOptimizer:
         ``owned`` marks a cache this optimizer created for one run and must
         close on exit (its server process / manager dies with the run); an
         adopted instance stays the caller's responsibility.
+
+        Every string/bool spelling routes through
+        :func:`repro.perf.parse_backend_spec` — the legacy forms (``True``,
+        bare kind names) keep working but emit a :class:`DeprecationWarning`
+        naming the spec-string replacement.
         """
+        from repro.perf import shared_cache as shared_cache_module
         from repro.perf.cache import ResynthesisCache
-        from repro.perf.shared_cache import SharedCacheUnavailable
+        from repro.perf.shared_cache import SharedCacheUnavailable, parse_backend_spec
 
-        spec = self.share_resynthesis_cache
-        if spec is None or spec is False:
+        requested = self.share_resynthesis_cache
+        if requested is None or requested is False:
             return None, False, []
-        if isinstance(spec, ResynthesisCache):
-            return spec, False, [f"shared resynthesis cache backend: {spec.backend.kind}"]
-        kind = "local" if spec is True else spec
+        if isinstance(requested, ResynthesisCache):
+            return (
+                requested,
+                False,
+                [f"shared resynthesis cache backend: {requested.backend.kind}"],
+            )
+        spec = parse_backend_spec(requested, parameter="share_resynthesis_cache")
         notes: list[str] = []
-        backend: "str | object" = "local"
-        if kind != "local":
+        backend: "object" = spec
+        if spec.kind != "local":
             try:
-                from repro.perf.shared_cache import create_backend
-
-                backend = create_backend(kind)
+                # Resolved lazily off the module so tests (and embedders) can
+                # monkeypatch create_backend to force the fallback path.
+                backend = shared_cache_module.create_backend(spec)
             except SharedCacheUnavailable as error:
                 notes.append(
-                    f"requested {kind!r} shared cache backend unavailable "
+                    f"requested {spec.canonical!r} shared cache backend unavailable "
                     f"({error}); fell back to 'local'"
                 )
-                kind = "local"
+                backend = "local"
         cache = ResynthesisCache(shared=True, backend=backend)
-        notes.insert(0, f"shared resynthesis cache backend: {kind}")
+        notes.insert(0, f"shared resynthesis cache backend: {cache.backend.kind}")
         return cache, True, notes
 
     # -- worker construction -------------------------------------------------
@@ -254,130 +267,213 @@ class PortfolioOptimizer:
 
     # -- main loop ------------------------------------------------------------
 
+    def start(self, circuit: Circuit) -> "PortfolioRun":
+        """Open a step-wise run on ``circuit`` (the serve layer's unit).
+
+        The returned :class:`PortfolioRun` owns the shared cache and the
+        round executor; drive it with :meth:`PortfolioRun.step_round`, read
+        anytime state off it whenever you like, and :meth:`PortfolioRun.close`
+        it when done.  :meth:`optimize` is exactly ``start`` + drain + close.
+        """
+        return PortfolioRun(self, circuit)
+
     def optimize(self, circuit: Circuit) -> PortfolioResult:
         """Run the portfolio on ``circuit`` and merge the results."""
-        shared_cache, owns_cache, cache_notes = self._open_shared_cache()
+        run = self.start(circuit)
         try:
-            return self._optimize(circuit, shared_cache, cache_notes)
+            while run.step_round():
+                pass
+            return run.result()
         finally:
-            if shared_cache is not None:
-                if owns_cache:
-                    # The driver owns the backend: tear the server process /
-                    # manager down with the run it served.
-                    shared_cache.close()
-                else:
-                    try:
-                        shared_cache.flush()
-                    except Exception:
-                        # A dead adopted backend must not mask the run's real
-                        # outcome (or error) with a teardown-time failure.
-                        pass
+            run.close()
 
-    def _optimize(
-        self,
-        circuit: Circuit,
-        shared_cache: "ResynthesisCache | None",
-        cache_notes: "list[str]",
-    ) -> PortfolioResult:
-        config = self.config
-        base = config.search
-        engines, labels, seeds = self._build_engines(circuit, shared_cache)
 
-        incumbent_circuit = circuit
-        incumbent_cost = self.cost(circuit)
-        incumbent_error = 0.0
-        initial_cost = incumbent_cost
-        best_worker: "int | None" = None
-        rounds = 0
-        history: list[SearchHistoryPoint] = []
-        incumbent_trace: list[float] = []
+class PortfolioRun:
+    """A live, step-wise portfolio run: ``step_round()`` until done.
+
+    The portfolio analogue of :class:`repro.core.guoq.GuoqRun` — one object
+    holding the engines, the incumbent, the shared cache, and the round
+    executor, advanced one *exchange round* at a time so an external driver
+    (``repro.serve``'s scheduler, most importantly) can interleave many runs
+    on one machine.  Exactly the loop body :meth:`PortfolioOptimizer.optimize`
+    always ran, factored out; interleaving ``step_round()`` calls of
+    different runs cannot perturb any run's outcome, because all cross-round
+    state lives on this object and ``elapsed`` accounts *active* time only
+    (time spent inside ``step_round``), not wall-clock gaps between quanta.
+
+    :meth:`result` may be called at any time for an anytime snapshot;
+    :meth:`close` tears down what the run owns (idempotent).
+    """
+
+    def __init__(self, portfolio: PortfolioOptimizer, circuit: Circuit) -> None:
+        self.config = portfolio.config
+        self.cost = portfolio.cost
+        base = self.config.search
+        shared_cache, owns_cache, cache_notes = portfolio._open_shared_cache()
+        self.shared_cache = shared_cache
+        self._owns_cache = owns_cache
+        self._cache_notes = cache_notes
+        self._closed = False
+        try:
+            self.engines, self.labels, self.seeds = portfolio._build_engines(
+                circuit, shared_cache
+            )
+            self._executor = RoundExecutor(
+                self.config.backend, max_workers=self.config.num_workers
+            )
+            self._executor.__enter__()
+        except BaseException:
+            self._teardown_cache()
+            raise
+        self.incumbent_circuit = circuit
+        self.incumbent_cost = self.cost(circuit)
+        self.incumbent_error = 0.0
+        self.initial_cost = self.incumbent_cost
+        self.best_worker: "int | None" = None
+        self.rounds = 0
+        self.history: list[SearchHistoryPoint] = []
+        self.incumbent_trace: list[float] = []
         if base.track_history:
-            history.append(_history_point(0.0, 0, incumbent_cost, circuit))
-
-        start = time.monotonic()
+            self.history.append(_history_point(0.0, 0, self.incumbent_cost, circuit))
+        #: active seconds spent inside ``step_round`` (not wall-clock age)
+        self.elapsed = 0.0
         # Per-worker cache of (best cost under the worker's own objective,
         # best cost under the portfolio objective): a worker's own best cost
         # only changes when its best circuit does, so an unchanged entry means
         # the portfolio-side re-ranking can be skipped for that worker.
-        ranked: "list[tuple[float, float] | None]" = [None] * len(engines)
-        with RoundExecutor(config.backend, max_workers=config.num_workers) as executor:
-            while any(not engine.done for engine in engines):
-                if time.monotonic() - start >= base.time_limit:
-                    break
-                engines = executor.run_round(engines, config.exchange_interval)
-                rounds += 1
+        self._ranked: "list[tuple[float, float] | None]" = [None] * len(self.engines)
 
-                # Merge: re-rank every worker's best under the portfolio
-                # objective (workers may search under surrogates).  Iteration
-                # order makes ties deterministic (lowest worker index wins).
-                for index, engine in enumerate(engines):
-                    cached = ranked[index]
-                    if cached is not None and cached[0] == engine.best_cost:
-                        candidate_cost = cached[1]
-                    else:
-                        candidate_cost = self.cost(engine.best_circuit)
-                        ranked[index] = (engine.best_cost, candidate_cost)
-                    if candidate_cost < incumbent_cost:
-                        incumbent_circuit = engine.best_circuit
-                        incumbent_cost = candidate_cost
-                        incumbent_error = engine.error_bound
-                        best_worker = index
-                        if base.track_history:
-                            history.append(
-                                _history_point(
-                                    time.monotonic() - start,
-                                    sum(e.iterations for e in engines),
-                                    incumbent_cost,
-                                    incumbent_circuit,
-                                )
-                            )
-                incumbent_trace.append(incumbent_cost)
+    @property
+    def done(self) -> bool:
+        """Whether another ``step_round()`` could still make progress."""
+        return (
+            self._closed
+            or self.elapsed >= self.config.search.time_limit
+            or all(engine.done for engine in self.engines)
+        )
 
-                # Exchange: behind workers restart from the portfolio's best
-                # state.  The anchor (worker 0) never adopts, preserving its
-                # solo-run trajectory.
-                if config.share_incumbent:
-                    for index, engine in enumerate(engines):
-                        if engine.done or (config.anchor_worker and index == 0):
-                            continue
-                        if self.cost(engine.current_circuit) > incumbent_cost:
-                            engine.inject_incumbent(
-                                incumbent_circuit, error=incumbent_error
-                            )
-            backend_used = executor.backend
+    @property
+    def total_iterations(self) -> int:
+        """Iterations consumed so far across all workers."""
+        return sum(engine.iterations for engine in self.engines)
 
-        elapsed = time.monotonic() - start
-        worker_results = [engine.snapshot() for engine in engines]
+    @property
+    def total_quanta(self) -> int:
+        """``step()`` quanta consumed so far across all workers."""
+        return sum(getattr(engine, "quanta", 0) for engine in self.engines)
+
+    def step_round(self) -> bool:
+        """Advance every live engine one exchange round; False when spent.
+
+        A round only runs when the pre-conditions the one-shot loop always
+        checked still hold (some engine live, active time under the limit),
+        so driving this to ``False`` reproduces ``optimize()`` exactly.
+        """
+        if self.done:
+            return False
+        config = self.config
+        base = config.search
+        started = time.monotonic()
+        self.engines = self._executor.run_round(self.engines, config.exchange_interval)
+        self.rounds += 1
+
+        # Merge: re-rank every worker's best under the portfolio objective
+        # (workers may search under surrogates).  Iteration order makes ties
+        # deterministic (lowest worker index wins).
+        for index, engine in enumerate(self.engines):
+            cached = self._ranked[index]
+            if cached is not None and cached[0] == engine.best_cost:
+                candidate_cost = cached[1]
+            else:
+                candidate_cost = self.cost(engine.best_circuit)
+                self._ranked[index] = (engine.best_cost, candidate_cost)
+            if candidate_cost < self.incumbent_cost:
+                self.incumbent_circuit = engine.best_circuit
+                self.incumbent_cost = candidate_cost
+                self.incumbent_error = engine.error_bound
+                self.best_worker = index
+                if base.track_history:
+                    self.history.append(
+                        _history_point(
+                            self.elapsed + (time.monotonic() - started),
+                            sum(e.iterations for e in self.engines),
+                            self.incumbent_cost,
+                            self.incumbent_circuit,
+                        )
+                    )
+        self.incumbent_trace.append(self.incumbent_cost)
+
+        # Exchange: behind workers restart from the portfolio's best state.
+        # The anchor (worker 0) never adopts, preserving its solo trajectory.
+        if config.share_incumbent:
+            for index, engine in enumerate(self.engines):
+                if engine.done or (config.anchor_worker and index == 0):
+                    continue
+                if self.cost(engine.current_circuit) > self.incumbent_cost:
+                    engine.inject_incumbent(self.incumbent_circuit, error=self.incumbent_error)
+        self.elapsed += time.monotonic() - started
+        return not self.done
+
+    def result(self) -> PortfolioResult:
+        """Merge the current state into a :class:`PortfolioResult` (anytime)."""
+        config = self.config
+        base = config.search
+        worker_results = [engine.snapshot() for engine in self.engines]
         perf = None
         if base.collect_perf:
             perf = PerfReport.merged(
                 [result.perf for result in worker_results if result.perf is not None],
-                elapsed=elapsed,
+                elapsed=self.elapsed,
             )
-            for note in cache_notes:
+            for note in self._cache_notes:
                 if note not in perf.notes:
                     perf.notes.append(note)
         return PortfolioResult(
-            best_circuit=incumbent_circuit,
-            best_cost=incumbent_cost,
-            initial_cost=initial_cost,
-            error_bound=incumbent_error,
-            best_worker=best_worker,
+            best_circuit=self.incumbent_circuit,
+            best_cost=self.incumbent_cost,
+            initial_cost=self.initial_cost,
+            error_bound=self.incumbent_error,
+            best_worker=self.best_worker,
             num_workers=config.num_workers,
-            backend=backend_used,
-            rounds=rounds,
-            total_iterations=sum(engine.iterations for engine in engines),
-            elapsed=elapsed,
-            history=history,
-            incumbent_trace=incumbent_trace,
+            backend=self._executor.backend,
+            rounds=self.rounds,
+            total_iterations=self.total_iterations,
+            elapsed=self.elapsed,
+            history=list(self.history),
+            incumbent_trace=list(self.incumbent_trace),
             worker_results=worker_results,
-            worker_labels=labels,
-            worker_seeds=seeds,
+            worker_labels=self.labels,
+            worker_seeds=self.seeds,
             shared_cache_backend=(
-                shared_cache.backend.kind if shared_cache is not None else None
+                self.shared_cache.backend.kind if self.shared_cache is not None else None
             ),
             perf=perf,
         )
+
+    def _teardown_cache(self) -> None:
+        if self.shared_cache is None:
+            return
+        if self._owns_cache:
+            # The run owns the backend: tear the server process / manager
+            # down with the run it served.
+            self.shared_cache.close()
+        else:
+            try:
+                self.shared_cache.flush()
+            except Exception:
+                # A dead adopted backend must not mask the run's real
+                # outcome (or error) with a teardown-time failure.
+                pass
+
+    def close(self) -> None:
+        """Release the executor and the cache this run owns (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._executor.__exit__(None, None, None)
+        finally:
+            self._teardown_cache()
 
 
 def optimize_circuit_portfolio(
@@ -422,14 +518,14 @@ def optimize_circuit_portfolio(
         gate_set = get_gate_set(gate_set)
     if isinstance(objective, str):
         objective = default_objective(gate_set, objective)
-    if share_resynthesis_cache in (True, "local") and backend in ("processes", "auto"):
+    if share_resynthesis_cache in (True, "local", "local:") and backend in ("processes", "auto"):
         import warnings
 
         warnings.warn(
-            "share_resynthesis_cache='local' only shares across in-process workers; "
+            "share_resynthesis_cache='local:' only shares across in-process workers; "
             f"the {backend!r} backend pickles per-worker copies, so cross-worker "
-            "reuse will not happen there (use share_resynthesis_cache='shm' or "
-            "'server' for cross-process sharing)",
+            "reuse will not happen there (use share_resynthesis_cache='shm:' or "
+            "'server:' for cross-process sharing)",
             RuntimeWarning,
             stacklevel=2,
         )

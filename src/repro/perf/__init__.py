@@ -36,6 +36,7 @@ from repro.perf.persist import (
 from repro.perf.report import CacheStats, PerfReport
 from repro.perf.shared_cache import (
     BACKEND_KINDS,
+    BackendSpec,
     CacheBackend,
     LocalBackend,
     ServerBackend,
@@ -44,11 +45,13 @@ from repro.perf.shared_cache import (
     TcpCacheBackend,
     create_backend,
     drain_connection_pool,
+    parse_backend_spec,
     parse_tcp_cache_url,
 )
 
 __all__ = [
     "BACKEND_KINDS",
+    "BackendSpec",
     "CORPUS_VERSION",
     "CacheBackend",
     "CacheStats",
@@ -65,6 +68,7 @@ __all__ = [
     "create_backend",
     "drain_connection_pool",
     "load_corpus",
+    "parse_backend_spec",
     "parse_tcp_cache_url",
     "permute_unitary",
     "write_corpus",

@@ -49,10 +49,11 @@ import numpy as np
 from repro.perf.report import CacheStats
 from repro.perf.shared_cache import (
     DEFAULT_WRITE_BATCH,
+    BackendSpec,
     _Entry,
     _entries_match,
     _merge_entry,
-    create_backend,
+    parse_backend_spec,
 )
 from repro.synthesis.resynth import (
     EXACT_DISTANCE_FLOOR,
@@ -206,7 +207,12 @@ class ResynthesisCache:
         self.verify_hits = verify_hits
         self.shared = shared
         self.write_batch_size = write_batch_size
-        kind = backend if isinstance(backend, str) else backend.kind
+        if isinstance(backend, (str, BackendSpec)):
+            spec = parse_backend_spec(backend)
+            kind = spec.kind
+        else:
+            spec = None
+            kind = backend.kind
         if kind != "local" and not shared:
             # Validate before materializing: create_backend would spawn a
             # server/manager process with no handle left to close it.
@@ -214,8 +220,8 @@ class ResynthesisCache:
                 f"the {kind!r} backend is a shared store; construct the "
                 "cache with shared=True"
             )
-        if isinstance(backend, str):
-            backend = create_backend(backend, maxsize=maxsize, match_epsilon=match_epsilon)
+        if spec is not None:
+            backend = spec.create(maxsize=maxsize, match_epsilon=match_epsilon)
         self.backend = backend
         self.token = f"resynth-cache-{uuid.uuid4().hex[:12]}"
         #: lifecycle events worth surfacing (backend downgrades on pickling,

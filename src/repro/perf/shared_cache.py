@@ -49,9 +49,10 @@ import os
 import pickle
 import secrets
 import threading
+import warnings
 import zlib
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing.connection import Client, Listener
 from typing import Protocol
 
@@ -1068,89 +1069,292 @@ class TcpCacheBackend:
         self._stats_lock = threading.Lock()
 
 
+#: query keys the backend-spec grammar accepts, in canonical order
+SPEC_QUERY_KEYS = ("store", "flush_every", "maxsize", "stripes", "match_epsilon")
+
+_SPEC_GRAMMAR = (
+    "local:[?store=PATH&flush_every=N&maxsize=N&match_epsilon=X] | "
+    "shm:[?maxsize=N&stripes=N&match_epsilon=X] | "
+    "server:[?store=PATH&flush_every=N&maxsize=N&match_epsilon=X] | "
+    "tcp://host:port[,host:port...]"
+)
+
+
+def _reject_store_path(kind: str, store_path, source: str) -> None:
+    """The up-front store-path guard: shm/tcp clients own no disk store.
+
+    Raised *before* any backend machinery is touched, naming the offending
+    spec string — a TCP *server* persists via ``--cache 'local:?store=...'``
+    (or the legacy ``--store``) on the server side instead.
+    """
+    if store_path is None:
+        return
+    if kind == "shm":
+        raise ValueError(
+            f"store_path is not supported by the shm backend (spec {source!r}): "
+            "the manager dict owns no disk store"
+        )
+    if kind == "tcp":
+        raise ValueError(
+            f"store_path applies to the cache server, not the tcp client "
+            f"(spec {source!r}); start the server with --cache 'local:?store=PATH' "
+            "(or --store PATH) instead"
+        )
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A parsed cache-backend specification — the one way to spell backends.
+
+    Produced by :func:`parse_backend_spec` from any accepted spelling (URL
+    form, legacy bare kind, ``True``); two spellings that resolve to the same
+    configuration compare equal (``source`` keeps the original text for error
+    messages but is excluded from comparison).  ``canonical`` renders the
+    URL form back out; :meth:`create` materializes the backend.
+
+    Optional fields left as ``None`` fall back to the defaults supplied at
+    :meth:`create` time, so a bare ``"local:"`` behaves exactly like the
+    legacy ``create_backend("local")``.
+    """
+
+    kind: str
+    servers: "tuple[tuple[str, int], ...]" = ()
+    store_path: "str | None" = None
+    flush_interval: "int | None" = None
+    maxsize: "int | None" = None
+    stripes: "int | None" = None
+    match_epsilon: "float | None" = None
+    source: str = field(default="", compare=False)
+
+    @property
+    def canonical(self) -> str:
+        """The canonical URL spelling of this spec."""
+        if self.kind == "tcp":
+            base = TCP_URL_PREFIX + ",".join(f"{host}:{port}" for host, port in self.servers)
+        else:
+            base = f"{self.kind}:"
+        query = []
+        if self.store_path is not None:
+            query.append(f"store={self.store_path}")
+        if self.flush_interval is not None:
+            query.append(f"flush_every={self.flush_interval}")
+        if self.maxsize is not None:
+            query.append(f"maxsize={self.maxsize}")
+        if self.stripes is not None:
+            query.append(f"stripes={self.stripes}")
+        if self.match_epsilon is not None:
+            query.append(f"match_epsilon={self.match_epsilon}")
+        return base + ("?" + "&".join(query) if query else "")
+
+    def create(
+        self,
+        maxsize: int = 512,
+        match_epsilon: float = 1e-9,
+        stripes: int = 8,
+        store_path=None,
+        flush_interval: int = DEFAULT_FLUSH_INTERVAL,
+    ):
+        """Materialize the backend; keyword arguments are *fallbacks* only.
+
+        Values carried by the spec itself (from its query string) win over
+        the keyword defaults, so ``parse_backend_spec(s).create()`` honors
+        everything encoded in ``s`` while legacy call sites keep passing
+        their own defaults through.  Raises :class:`SharedCacheUnavailable`
+        when the platform cannot bring the backend up.
+        """
+        maxsize = self.maxsize if self.maxsize is not None else maxsize
+        match_epsilon = self.match_epsilon if self.match_epsilon is not None else match_epsilon
+        stripes = self.stripes if self.stripes is not None else stripes
+        store_path = self.store_path if self.store_path is not None else store_path
+        if self.flush_interval is not None:
+            flush_interval = self.flush_interval
+        source = self.source or self.canonical
+        _reject_store_path(self.kind, store_path, source)
+        if self.kind == "tcp":
+            try:
+                return TcpCacheBackend(list(self.servers))
+            except SharedCacheUnavailable:
+                raise
+            except Exception as error:
+                raise SharedCacheUnavailable(
+                    f"tcp cache backend unavailable for {source!r}: {error!r}"
+                ) from error
+        if self.kind == "local":
+            return LocalBackend(
+                maxsize=maxsize,
+                match_epsilon=match_epsilon,
+                store_path=store_path,
+                flush_interval=flush_interval,
+            )
+        if self.kind == "shm":
+            try:
+                return ShmBackend(maxsize=maxsize, match_epsilon=match_epsilon, stripes=stripes)
+            except SharedCacheUnavailable:
+                raise
+            except Exception as error:
+                raise SharedCacheUnavailable(f"shm cache backend unavailable: {error!r}") from error
+        if self.kind == "server":
+            try:
+                return ServerBackend.start(
+                    maxsize=maxsize,
+                    match_epsilon=match_epsilon,
+                    store_path=store_path,
+                    flush_interval=flush_interval,
+                )
+            except SharedCacheUnavailable:
+                raise
+            except Exception as error:
+                raise SharedCacheUnavailable(
+                    f"server cache backend unavailable: {error!r}"
+                ) from error
+        raise ValueError(f"backend must be one of {BACKEND_KINDS}, got {self.kind!r}")
+
+
+def _parse_spec_query(query: str, source: str) -> dict:
+    """Parse a ``store=...&flush_every=...`` spec query string, typed."""
+    values: dict = {}
+    for part in query.split("&"):
+        part = part.strip()
+        if not part:
+            continue
+        name, separator, raw = part.partition("=")
+        if not separator or not raw:
+            raise ValueError(f"malformed query item {part!r} in backend spec {source!r}")
+        if name not in SPEC_QUERY_KEYS:
+            raise ValueError(
+                f"unknown query key {name!r} in backend spec {source!r} "
+                f"(accepted: {', '.join(SPEC_QUERY_KEYS)})"
+            )
+        try:
+            if name == "store":
+                values["store_path"] = raw
+            elif name == "flush_every":
+                values["flush_interval"] = int(raw)
+            elif name == "match_epsilon":
+                values["match_epsilon"] = float(raw)
+            else:
+                values[name] = int(raw)
+        except ValueError as error:
+            raise ValueError(
+                f"bad value {raw!r} for query key {name!r} in backend spec {source!r}"
+            ) from error
+    return values
+
+
+def parse_backend_spec(spec, parameter: "str | None" = None) -> BackendSpec:
+    """Parse any accepted cache-backend spelling into a :class:`BackendSpec`.
+
+    The one grammar every cache-configuration surface routes through
+    (``create_backend``, ``share_resynthesis_cache=``, ``resynthesis_cache=``,
+    the serve/coordinator/cache-server ``--cache`` flags)::
+
+        local:[?store=PATH&flush_every=N&maxsize=N&match_epsilon=X]
+        shm:[?maxsize=N&stripes=N&match_epsilon=X]
+        server:[?store=PATH&flush_every=N&maxsize=N&match_epsilon=X]
+        tcp://host:port[,host:port...][?maxsize=N&match_epsilon=X]
+
+    Legacy spellings still parse — bare kind names (``"shm"``) and ``True``
+    (meaning ``local``) — but emit a :class:`DeprecationWarning` naming the
+    new form when ``parameter`` identifies the user-facing argument they came
+    in through.  Internal plumbing passes ``parameter=None`` to stay silent.
+    Validation is up-front: malformed specs, unknown query keys, and
+    ``store`` on backends that own no disk store all raise :class:`ValueError`
+    naming the offending spec string before any machinery is touched.
+    """
+    if isinstance(spec, BackendSpec):
+        return spec
+    if spec is True:
+        if parameter:
+            warnings.warn(
+                f"{parameter}=True is deprecated; pass the backend spec 'local:' instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return BackendSpec(kind="local", source="True")
+    if not isinstance(spec, str):
+        raise TypeError(f"backend spec must be a string or BackendSpec, got {type(spec).__name__}")
+    source = spec
+    if spec.startswith(TCP_URL_PREFIX):
+        base, _, query = spec.partition("?")
+        values = _parse_spec_query(query, source)
+        servers = tuple(parse_tcp_cache_url(base))
+        result = BackendSpec(kind="tcp", servers=servers, source=source, **values)
+        _reject_store_path("tcp", result.store_path, source)
+        return result
+    kind, separator, rest = spec.partition(":")
+    if separator and kind in ("local", "shm", "server"):
+        if rest and not rest.startswith("?"):
+            raise ValueError(
+                f"unrecognized backend spec {source!r}; expected {_SPEC_GRAMMAR}"
+            )
+        values = _parse_spec_query(rest[1:] if rest else "", source)
+        result = BackendSpec(kind=kind, source=source, **values)
+        _reject_store_path(kind, result.store_path, source)
+        return result
+    if spec in ("local", "shm", "server"):
+        if parameter:
+            warnings.warn(
+                f"{parameter}={spec!r} is deprecated; pass the backend spec {spec + ':'!r} instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return BackendSpec(kind=spec, source=source)
+    raise ValueError(f"unrecognized backend spec {source!r}; expected {_SPEC_GRAMMAR}")
+
+
 def create_backend(
-    kind: str,
+    kind,
     maxsize: int = 512,
     match_epsilon: float = 1e-9,
     stripes: int = 8,
     store_path=None,
     flush_interval: int = DEFAULT_FLUSH_INTERVAL,
 ):
-    """Build a cache backend by name, or raise :class:`SharedCacheUnavailable`.
+    """Build a cache backend from a spec, or raise :class:`SharedCacheUnavailable`.
 
-    ``local`` always succeeds; ``shm`` and ``server`` need working
-    subprocess/socket machinery, so any bring-up failure is wrapped in
-    :class:`SharedCacheUnavailable` for callers to catch and degrade.  A
-    ``tcp://host:port[,host:port...]`` URL builds a :class:`TcpCacheBackend`
-    against already-running network cache servers; any unreachable server is
-    likewise a :class:`SharedCacheUnavailable`.
+    A thin shim over :func:`parse_backend_spec` + :meth:`BackendSpec.create`:
+    ``kind`` may be any accepted spec spelling (``"local:"``, ``"shm:"``,
+    ``"server:"``, ``"tcp://host:port[,...]?..."``, a :class:`BackendSpec`,
+    or a legacy bare kind name — accepted here without a deprecation warning,
+    since internal plumbing routes through this function).  Keyword arguments
+    are fallbacks for anything the spec's query string doesn't pin.
+
+    ``local`` always succeeds; ``shm``/``server`` need working
+    subprocess/socket machinery and ``tcp`` needs reachable network cache
+    servers, so any bring-up failure is wrapped in
+    :class:`SharedCacheUnavailable` for callers to catch and degrade.
 
     ``store_path`` attaches the crash-safe disk tier (``docs/caching.md``,
     "Persistence tier") to the backends that own a store: ``local`` reloads
     on construction and persists on ``close()``; ``server`` hands the path to
-    its child process.  ``shm`` and ``tcp`` clients own no store — a TCP
-    *server* persists via its own ``--store`` flag — so the combination is
-    rejected rather than silently ignored.
+    its child process.  ``shm`` and ``tcp`` clients own no store, so the
+    combination is rejected up front with an error naming the spec.
     """
-    if kind.startswith(TCP_URL_PREFIX):
-        if store_path is not None:
-            raise ValueError(
-                "store_path applies to the cache server, not the tcp client; "
-                "start the server with --store PATH instead"
-            )
-        try:
-            return TcpCacheBackend.from_url(kind)
-        except SharedCacheUnavailable:
-            raise
-        except Exception as error:
-            raise SharedCacheUnavailable(
-                f"tcp cache backend unavailable for {kind!r}: {error!r}"
-            ) from error
-    if kind == "local":
-        return LocalBackend(
-            maxsize=maxsize,
-            match_epsilon=match_epsilon,
-            store_path=store_path,
-            flush_interval=flush_interval,
-        )
-    if kind == "shm":
-        if store_path is not None:
-            raise ValueError("the shm backend does not support store_path")
-        try:
-            return ShmBackend(maxsize=maxsize, match_epsilon=match_epsilon, stripes=stripes)
-        except SharedCacheUnavailable:
-            raise
-        except Exception as error:
-            raise SharedCacheUnavailable(f"shm cache backend unavailable: {error!r}") from error
-    if kind == "server":
-        try:
-            return ServerBackend.start(
-                maxsize=maxsize,
-                match_epsilon=match_epsilon,
-                store_path=store_path,
-                flush_interval=flush_interval,
-            )
-        except SharedCacheUnavailable:
-            raise
-        except Exception as error:
-            raise SharedCacheUnavailable(
-                f"server cache backend unavailable: {error!r}"
-            ) from error
-    raise ValueError(f"backend must be one of {BACKEND_KINDS}, got {kind!r}")
+    spec = parse_backend_spec(kind)
+    return spec.create(
+        maxsize=maxsize,
+        match_epsilon=match_epsilon,
+        stripes=stripes,
+        store_path=store_path,
+        flush_interval=flush_interval,
+    )
 
 
 __all__ = [
     "BACKEND_KINDS",
+    "BackendSpec",
     "CacheBackend",
     "DEFAULT_TCP_AUTHKEY",
     "DEFAULT_WRITE_BATCH",
     "LocalBackend",
+    "SPEC_QUERY_KEYS",
     "ServerBackend",
     "SharedCacheUnavailable",
     "ShmBackend",
     "TcpCacheBackend",
     "create_backend",
     "drain_connection_pool",
+    "parse_backend_spec",
     "parse_tcp_cache_url",
     "tcp_cache_authkey",
 ]

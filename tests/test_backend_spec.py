@@ -1,0 +1,165 @@
+"""Tests for the unified cache/backend spec API (``parse_backend_spec``).
+
+The redesign's contract: every cache-configuration surface speaks one
+grammar, every legacy spelling resolves to the same backend as its new URL
+form (with a ``DeprecationWarning`` only on user-facing arguments), and
+malformed specs — including ``store`` on backends that own no disk store —
+fail up front with an error naming the offending spec string.
+"""
+
+import warnings
+
+import pytest
+
+from repro.perf import BackendSpec, ResynthesisCache, create_backend, parse_backend_spec
+from repro.perf.shared_cache import SPEC_QUERY_KEYS
+
+
+class TestGrammar:
+    def test_bare_kinds_and_url_forms_are_equivalent(self):
+        for kind in ("local", "shm", "server"):
+            assert parse_backend_spec(kind) == parse_backend_spec(f"{kind}:")
+            assert parse_backend_spec(f"{kind}:").kind == kind
+
+    def test_true_means_local(self):
+        assert parse_backend_spec(True) == parse_backend_spec("local:")
+
+    def test_backend_spec_passes_through(self):
+        spec = parse_backend_spec("shm:")
+        assert parse_backend_spec(spec) is spec
+
+    def test_query_values_parse(self):
+        spec = parse_backend_spec("local:?store=/tmp/c.pkl&flush_every=7&maxsize=99")
+        assert spec.kind == "local"
+        assert spec.store_path == "/tmp/c.pkl"
+        assert spec.flush_interval == 7
+        assert spec.maxsize == 99
+
+    def test_tcp_url_with_servers_and_query(self):
+        spec = parse_backend_spec("tcp://a:1,b:2?maxsize=33&match_epsilon=1e-6")
+        assert spec.kind == "tcp"
+        assert spec.servers == (("a", 1), ("b", 2))
+        assert spec.maxsize == 33
+        assert spec.match_epsilon == pytest.approx(1e-6)
+
+    def test_canonical_round_trips(self):
+        for text in (
+            "local:",
+            "shm:?maxsize=16&stripes=2",
+            "server:?store=/tmp/x.pkl",
+            "tcp://h:9?maxsize=8",
+        ):
+            spec = parse_backend_spec(text)
+            assert parse_backend_spec(spec.canonical) == spec
+
+    def test_source_is_kept_but_excluded_from_equality(self):
+        legacy, url = parse_backend_spec("shm"), parse_backend_spec("shm:")
+        assert legacy == url
+        assert legacy.source == "shm" and url.source == "shm:"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "bogus",
+            "bogus:",
+            "local:extra",  # junk between kind and query
+            "local:?unknown_key=1",
+            "shm:?maxsize=notanumber",
+        ],
+    )
+    def test_malformed_specs_raise_naming_the_spec(self, bad):
+        with pytest.raises(ValueError, match="spec"):
+            parse_backend_spec(bad)
+
+    def test_non_string_rejected_with_type_error(self):
+        with pytest.raises(TypeError):
+            parse_backend_spec(123)
+
+    def test_query_keys_are_the_documented_set(self):
+        assert set(SPEC_QUERY_KEYS) == {
+            "store",
+            "flush_every",
+            "maxsize",
+            "stripes",
+            "match_epsilon",
+        }
+
+
+class TestStorePathValidation:
+    """Satellite bugfix: store on a storeless backend dies up front, by name."""
+
+    def test_shm_spec_with_store_raises_naming_spec(self):
+        with pytest.raises(ValueError, match=r"store_path.*shm:\?store=/tmp/x"):
+            parse_backend_spec("shm:?store=/tmp/x")
+
+    def test_tcp_spec_with_store_points_at_the_server_flag(self):
+        with pytest.raises(ValueError, match="store_path.*cache server"):
+            parse_backend_spec("tcp://h:1?store=/tmp/x")
+
+    def test_create_backend_validates_before_materializing(self, tmp_path):
+        # The old behavior materialized the manager first and failed late;
+        # now the spec is rejected before any machinery is touched.
+        with pytest.raises(ValueError, match="store_path"):
+            create_backend("shm", store_path=str(tmp_path / "c.pkl"))
+
+
+class TestDeprecationShims:
+    def test_bare_kind_warns_only_with_a_named_parameter(self):
+        with pytest.deprecated_call(match="share_resynthesis_cache='shm'"):
+            parse_backend_spec("shm", parameter="share_resynthesis_cache")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # internal plumbing stays silent
+            parse_backend_spec("shm")
+
+    def test_true_warns_with_a_named_parameter(self):
+        with pytest.deprecated_call(match="'local:'"):
+            parse_backend_spec(True, parameter="resynthesis_cache")
+
+    def test_url_forms_never_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            parse_backend_spec("shm:", parameter="share_resynthesis_cache")
+            parse_backend_spec("tcp://h:1", parameter="share_resynthesis_cache")
+
+
+class TestSpecRouting:
+    """Every surface resolves a given spelling to the same backend."""
+
+    def test_create_backend_accepts_spec_strings_and_objects(self):
+        for spelling in ("local", "local:", parse_backend_spec("local:")):
+            backend = create_backend(spelling, maxsize=17)
+            assert backend.kind == "local"
+
+    def test_spec_query_overrides_create_defaults(self):
+        backend = parse_backend_spec("local:?maxsize=5").create(maxsize=512)
+        assert backend.maxsize == 5
+
+    def test_resynthesis_cache_accepts_spec_objects(self):
+        cache = ResynthesisCache(shared=True, backend=parse_backend_spec("local:"))
+        assert cache.backend.kind == "local"
+
+    def test_legacy_and_url_spellings_build_equal_specs(self):
+        surfaces = {
+            "local": "local:",
+            "shm": "shm:",
+            "server": "server:",
+        }
+        for legacy, url in surfaces.items():
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                assert parse_backend_spec(legacy, parameter="x") == parse_backend_spec(url)
+
+    def test_spec_is_picklable_for_job_records(self):
+        import pickle
+
+        spec = parse_backend_spec("tcp://h:1,i:2?maxsize=4")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_spec_equality_ignores_source_in_job_grouping(self):
+        # DistributedJob grouping in the serve offload relies on specs (and
+        # their canonical strings) comparing equal across spellings.
+        assert (
+            parse_backend_spec("local:?maxsize=3").canonical
+            == BackendSpec(kind="local", maxsize=3).canonical
+        )

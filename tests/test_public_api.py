@@ -22,6 +22,7 @@ PUBLIC_PACKAGES = [
     "repro.parallel",
     "repro.perf",
     "repro.distrib",
+    "repro.serve",
     "repro.baselines",
     "repro.suite",
 ]
@@ -38,7 +39,8 @@ def test_all_names_resolve(package_name):
 
 
 @pytest.mark.parametrize(
-    "package_name", ["repro", "repro.parallel", "repro.perf", "repro.distrib"]
+    "package_name",
+    ["repro", "repro.parallel", "repro.perf", "repro.distrib", "repro.serve"],
 )
 def test_api_doc_covers_exports(package_name):
     """docs/api.md must mention every name these packages export."""
@@ -67,6 +69,13 @@ def test_every_module_has_a_docstring():
 def test_docs_tree_is_linked_from_readme():
     """README is the overview; each docs page must be reachable from it."""
     readme = (REPO_ROOT / "README.md").read_text()
-    for page in ("architecture.md", "caching.md", "distributed.md", "benchmarks.md", "api.md"):
+    for page in (
+        "architecture.md",
+        "caching.md",
+        "distributed.md",
+        "serving.md",
+        "benchmarks.md",
+        "api.md",
+    ):
         assert f"docs/{page}" in readme, f"README must link docs/{page}"
         assert (REPO_ROOT / "docs" / page).exists()
