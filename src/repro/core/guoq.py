@@ -72,6 +72,18 @@ class GuoqConfig:
     memoize_rewrites: bool = True
     #: collect per-phase timers and cache statistics into ``GuoqResult.perf``
     collect_perf: bool = True
+    #: gather each step quantum's resynthesis-cache miss set and dispatch it
+    #: as one batch at the step boundary (a batched prefetch of the missed
+    #: buckets — counter-neutral and trajectory-preserving, so seeded runs
+    #: are bit-identical with this on or off; see ``docs/batching.md``)
+    batch_resynthesis: bool = True
+    #: additionally ship the miss batch to a cache backend that supports
+    #: server-side batch synthesis (``server``/``tcp``), so one vectorized
+    #: pass on the server fills entries many workers will hit.  Off by
+    #: default: remotely synthesized entries convert later misses into hits,
+    #: which changes the local rng trajectory (correct, but not bit-identical
+    #: to an offload-free run).
+    batch_offload_misses: bool = False
 
 
 @dataclass
@@ -169,6 +181,7 @@ class GuoqRun:
         # the memo survives the pickle round-trips of the process backend.
         self._nofire: set[str] = set()
         self._nofire_skips = 0
+        self._batch_dispatches = 0
         self._phase_seconds = {"rewrite": 0.0, "resynthesis": 0.0, "cost": 0.0}
         self._phase_calls = {"rewrite": 0, "resynthesis": 0, "cost": 0}
         if self._config.track_history:
@@ -284,7 +297,49 @@ class GuoqRun:
         finally:
             self._elapsed = base + (time.monotonic() - resume)
             self._last_step_iterations = self._iterations - quantum_start
+        if config.batch_resynthesis:
+            self._dispatch_miss_batch()
         return not self._done
+
+    def _dispatch_miss_batch(self) -> None:
+        """Turn this quantum's cache misses into one batched dispatch.
+
+        Per attached cache: drain the ``(key, canonical)`` pairs recorded at
+        miss time and either offload them as a server-side batch synthesis
+        job (``batch_offload_misses``, for backends that support it) or
+        batch-prefetch their buckets — one IPC round trip that pulls sibling
+        workers' fresh entries into L1 instead of a round trip per future
+        lookup.  Every failure degrades to doing nothing (the scalar paths
+        already resolved this worker's own misses); nothing here can drop a
+        miss or perturb the search trajectory.
+        """
+        config = self._config
+        for transformation in self._optimizer.transformations:
+            cache = getattr(getattr(transformation, "resynthesizer", None), "cache", None)
+            if cache is None:
+                continue
+            missed = cache.drain_missed_items()
+            if not missed:
+                continue
+            backend = cache.backend
+            if config.batch_offload_misses and getattr(
+                backend, "supports_batch_synthesis", False
+            ):
+                from repro.synthesis.batch import resynthesizer_spec
+
+                spec = resynthesizer_spec(transformation.resynthesizer)
+                if spec is not None:
+                    try:
+                        backend.synth_batch(spec, missed)
+                        self._batch_dispatches += 1
+                        continue
+                    except Exception as error:  # noqa: BLE001 - degrade, never raise
+                        cache.record_batch_failure(
+                            f"step-boundary offload failed: {error!r}"
+                        )
+            if backend.kind != "local":
+                cache.prefetch_keys([key for key, _ in missed])
+                self._batch_dispatches += 1
 
     def inject_incumbent(
         self, circuit: Circuit, cost: "float | None" = None, error: float = 0.0
@@ -401,6 +456,7 @@ class GuoqRun:
             phase_seconds=dict(self._phase_seconds),
             phase_calls=dict(self._phase_calls),
             rewrite_skips=self._nofire_skips,
+            batch_dispatches=self._batch_dispatches,
             caches=list(caches.values()),
             notes=notes,
         )

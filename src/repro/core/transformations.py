@@ -18,6 +18,7 @@ import numpy as np
 from repro.circuits.blocks import block_to_circuit, random_block, replace_block
 from repro.circuits.circuit import Circuit
 from repro.rewrite.rules import RewriteRule
+from repro.synthesis.batch import BatchResynthesizer
 from repro.synthesis.resynth import Resynthesizer
 
 
@@ -95,6 +96,12 @@ class ResynthesisTransformation(Transformation):
         )
         self.max_block_gates = max_block_gates
         self.name = f"resynth:{resynthesizer.name}"
+        #: the batched engine this transformation routes through; a batch of
+        #: one takes its singleton fast path (exactly the scalar call), so
+        #: the seam is live on the default hot path without changing it —
+        #: callers with a real miss set (GuoqRun step boundaries, the serve
+        #: scheduler) hand it bigger batches
+        self.batcher = BatchResynthesizer(resynthesizer)
 
     def apply(
         self, circuit: Circuit, rng: np.random.Generator
@@ -112,7 +119,7 @@ class ResynthesisTransformation(Transformation):
         if block is None or len(block) < 2:
             return None
         small = block_to_circuit(circuit, block)
-        outcome = self.resynthesizer.resynthesize_cached(small)
+        outcome = self.batcher.resynthesize_batch([small])[0]
         if outcome is None:
             return None
         rebuilt = replace_block(circuit, block, outcome.circuit)

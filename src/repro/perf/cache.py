@@ -41,7 +41,7 @@ from __future__ import annotations
 import itertools
 import threading
 import uuid
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import replace
 
 import numpy as np
@@ -59,7 +59,7 @@ from repro.synthesis.resynth import (
     EXACT_DISTANCE_FLOOR,
     ResynthesisOutcome,
 )
-from repro.utils.linalg import COMPLEX_DTYPE, hilbert_schmidt_distance
+from repro.utils.linalg import COMPLEX_DTYPE, hilbert_schmidt_distance, phase_normalized
 
 
 def permute_unitary(unitary: np.ndarray, perm: "tuple[int, ...]") -> np.ndarray:
@@ -80,22 +80,11 @@ def permute_unitary(unitary: np.ndarray, perm: "tuple[int, ...]") -> np.ndarray:
     return np.transpose(tensor, axes).reshape(dim, dim)
 
 
-def _phase_normalized(unitary: np.ndarray) -> np.ndarray:
-    """Divide out the global phase, fixed by a magnitude-stable pivot entry.
-
-    The pivot is the *first* entry (row-major) whose magnitude reaches half
-    the maximum.  Unlike an argmax pivot this choice is stable under global
-    phase multiplication even when many entries tie in magnitude (ubiquitous
-    for Hadamard-like unitaries), because magnitudes only move by an ulp
-    while the half-max threshold sits far from both sides of the tie.
-    """
-    flat = unitary.ravel()
-    magnitudes = np.abs(flat)
-    peak = float(magnitudes.max(initial=0.0))
-    if peak < 1e-12:
-        return unitary
-    pivot = flat[int(np.argmax(magnitudes >= 0.5 * peak))]
-    return unitary * (np.conj(pivot) / abs(pivot))
+#: phase normalization now lives in :mod:`repro.utils.linalg` so the
+#: annealer's BFS memo key can share the exact same pivot rule (the
+#: ``_unitary_key`` unification); kept under the old private name for the
+#: canonicalization call sites below.
+_phase_normalized = phase_normalized
 
 
 def canonicalize_unitary(
@@ -238,6 +227,18 @@ class ResynthesisCache:
         self._backend_failures = 0
         self._backend_failure_noted = False
         self._tcp_degradation_noted = False
+        #: server-side batch synthesis jobs that failed/degraded to per-item
+        #: scalar synthesis (see :mod:`repro.synthesis.batch`); surfaced via
+        #: :meth:`stats` and ``PerfReport.notes``
+        self._batch_failures = 0
+        self._batch_failure_noted = False
+        #: recently missed ``(key_bytes, canonical)`` pairs, recorded by
+        #: :meth:`get` and drained by batch dispatchers (``GuoqRun``, the
+        #: serve scheduler) at step boundaries; bounded so an undrained cache
+        #: never grows without bound
+        self._missed: "deque[tuple[bytes, np.ndarray]]" = deque(maxlen=256)
+        #: misses republished by drain_missed_items for a cross-job pooler
+        self._missed_pooled: "deque[tuple[bytes, np.ndarray]]" = deque(maxlen=256)
         #: keys this front end itself stored — a hit on any other key served
         #: from a shared backend is a *cross-worker* (remote) hit
         self._my_keys: "set[bytes]" = set()
@@ -280,6 +281,7 @@ class ResynthesisCache:
         if entry is None:
             with self._lock:
                 self._misses += 1
+                self._missed.append((key, canonical))
             return False, None
         # Single read: a concurrent put() may refresh entry.outcome in place
         # (thread-shared caches), so branch and remap from one snapshot.
@@ -294,6 +296,7 @@ class ResynthesisCache:
                 with self._lock:
                     self._misses += 1
                     self._verify_failures += 1
+                    self._missed.append((key, canonical))
                 return False, None
             candidate = verified
         self._count_hit(remote)
@@ -340,6 +343,118 @@ class ResynthesisCache:
             pending, self._write_buffer = self._write_buffer, []
         if pending:
             self._backend_put_many(pending)
+
+    # -- batch dispatch hooks -------------------------------------------------
+
+    def drain_missed_items(self) -> "list[tuple[bytes, np.ndarray]]":
+        """Return and clear the recently missed ``(key, canonical)`` pairs.
+
+        Run-level batch dispatchers (``GuoqRun._dispatch_miss_batch``, the
+        batch engine itself) call this at step boundaries to turn a step's
+        miss set into one batched prefetch or server-side synthesis job.
+        Duplicate keys are collapsed (first occurrence wins — all
+        occurrences share the canonical frame by construction).
+
+        Every drained item is simultaneously *republished* to the pooled
+        log (:meth:`drain_pooled_misses`), so a cross-job pooler above the
+        run — the serve scheduler — still sees misses a run-level
+        dispatcher already consumed.  Nobody below the pooler reads the
+        pooled log, so the two consumers never race for the same item.
+        """
+        with self._lock:
+            drained = list(self._missed)
+            self._missed.clear()
+        seen: "set[bytes]" = set()
+        unique = []
+        for key, canonical in drained:
+            if key not in seen:
+                seen.add(key)
+                unique.append((key, canonical))
+        if unique:
+            with self._lock:
+                self._missed_pooled.extend(unique)
+        return unique
+
+    def drain_pooled_misses(self) -> "list[tuple[bytes, np.ndarray]]":
+        """Consume the pooled miss log (cross-job poolers only).
+
+        Collects misses republished by :meth:`drain_missed_items` plus any
+        still sitting in the fresh log (configurations with no run-level
+        dispatcher), deduplicated by key.  Bounded like the fresh log, so a
+        deployment with no pooler simply ages old entries out.
+        """
+        fresh = self.drain_missed_items()  # republishes into the pool first
+        del fresh
+        with self._lock:
+            drained = list(self._missed_pooled)
+            self._missed_pooled.clear()
+        seen: "set[bytes]" = set()
+        unique = []
+        for key, canonical in drained:
+            if key not in seen:
+                seen.add(key)
+                unique.append((key, canonical))
+        return unique
+
+    def prefetch_keys(self, keys: "list[bytes]") -> int:
+        """Warm the L1 read cache with one batched fetch of ``keys``.
+
+        Shared backends only (a local store has no IPC to amortize — no-op
+        there).  Counter-neutral: prefetching neither hits nor misses, it
+        only converts the *next* ``get`` on a fetched key from a backend
+        round trip into an L1 scan.  Returns the number of buckets fetched.
+        """
+        if self.backend.kind == "local" or not keys:
+            return 0
+        unique = list(dict.fromkeys(keys))
+        fetched = self._backend_get_many(unique)
+        if not fetched:
+            return 0
+        with self._lock:
+            for key, entries in fetched.items():
+                bucket = self._l1.get(key)
+                if bucket is None:
+                    self._l1[key] = list(entries)
+                else:
+                    # Merge, never replace — same rationale as _lookup: the
+                    # L1 bucket may hold this worker's own buffered puts.
+                    for entry in entries:
+                        _merge_entry(bucket, entry, self.match_epsilon)
+                self._l1_touch(key)
+        return len(fetched)
+
+    def peek_key(self, key: bytes, canonical: np.ndarray) -> bool:
+        """Counter-neutral presence test for a canonicalized entry.
+
+        Unlike :meth:`get` this touches no hit/miss counters and no LRU
+        recency, so the batch engine can decide which misses to presynthesize
+        without perturbing the statistics the scalar path would produce.
+        Local backend: a store peek.  Shared backends: an L1-only scan —
+        call :meth:`prefetch_keys` first for a meaningful answer; a ``False``
+        may simply mean "not fetched yet", which costs the caller a wasted
+        prepass, never a wrong result.
+        """
+        if self.backend.kind == "local":
+            return self.backend.peek(key, canonical)
+        with self._lock:
+            bucket = self._l1.get(key)
+            if not bucket:
+                return False
+            return any(
+                _entries_match(entry.canonical, canonical, self.match_epsilon)
+                for entry in bucket
+            )
+
+    def record_batch_failure(self, detail: str) -> None:
+        """Count a failed/degraded batch synthesis job (noted once)."""
+        with self._lock:
+            self._batch_failures += 1
+            if not self._batch_failure_noted:
+                self._batch_failure_noted = True
+                self.notes.append(
+                    "batched resynthesis dispatch failed mid-run; degraded to "
+                    f"per-item scalar synthesis ({detail})"
+                )
 
     # -- internals -----------------------------------------------------------
 
@@ -516,6 +631,7 @@ class ResynthesisCache:
                 dropped_requests=dropped,
                 unreachable_servers=unreachable,
                 backend_failures=self._backend_failures,
+                batch_failures=self._batch_failures,
             )
 
     def clear(self) -> None:
@@ -577,6 +693,10 @@ class ResynthesisCache:
         del state["_lock"]  # locks do not pickle; recreated on load
         state["_l1"] = OrderedDict()
         state["_write_buffer"] = []
+        # The fork starts with an empty miss log: the original's undispatched
+        # misses are its own dispatcher's responsibility, not the copy's.
+        state["_missed"] = deque(maxlen=self._missed.maxlen)
+        state["_missed_pooled"] = deque(maxlen=self._missed_pooled.maxlen)
         return state
 
     def __setstate__(self, state: dict) -> None:

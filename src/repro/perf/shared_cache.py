@@ -86,6 +86,9 @@ class CacheBackend(Protocol):
     kind: str
     #: whether copies that cross a process boundary still reach this store
     shared_across_processes: bool
+    #: whether the store can run server-side batch synthesis jobs
+    #: (``synth_batch``); the batch engine checks this before offloading
+    supports_batch_synthesis: bool
 
     def get_many(self, keys: "list[bytes]") -> "dict[bytes, list[_Entry]]":
         """Fetch the buckets stored under ``keys`` (absent keys omitted)."""
@@ -313,6 +316,7 @@ class LocalBackend(_BucketStore):
 
     kind = "local"
     shared_across_processes = False
+    supports_batch_synthesis = False
 
     def close(self) -> None:
         """Persist the store if a disk tier is attached; nothing else held."""
@@ -338,6 +342,7 @@ class ShmBackend:
 
     kind = "shm"
     shared_across_processes = True
+    supports_batch_synthesis = False
 
     def __init__(
         self,
@@ -566,6 +571,16 @@ def _serve_client(connection, store: _BucketStore, stop: threading.Event) -> Non
                 elif op == "clear":
                     store.clear()
                     reply = None
+                elif op == "synth_batch":
+                    # Server-side batch synthesis: one vectorized pass fills
+                    # the store with a get_many miss-batch's outcomes so many
+                    # workers' misses are served by one synthesis sweep.
+                    # Imported lazily — repro.synthesis.batch must not load
+                    # at perf import time (see its module docstring).
+                    from repro.synthesis.batch import synthesize_missing_into_store
+
+                    spec, items = payload
+                    reply = synthesize_missing_into_store(store, spec, items)
                 elif op == "ping":
                     reply = "pong"
                 elif op == "shutdown":
@@ -659,6 +674,8 @@ class ServerBackend:
 
     kind = "server"
     shared_across_processes = True
+    #: the server process can run batch synthesis jobs against its own store
+    supports_batch_synthesis = True
 
     def __init__(self, address, authkey: bytes, process=None, maxsize: int = 512) -> None:
         self.address = address
@@ -733,6 +750,17 @@ class ServerBackend:
 
     def put_many(self, items: "list[tuple[bytes, _Entry]]") -> None:
         self._request("put_many", items)
+
+    def synth_batch(self, spec: dict, items: "list[tuple[bytes, np.ndarray]]") -> dict:
+        """Run a server-side batch synthesis job for a ``get_many`` miss-batch.
+
+        ``spec`` is a :func:`repro.synthesis.batch.resynthesizer_spec` dict;
+        ``items`` are ``(key, canonical_unitary)`` pairs.  The server skips
+        keys already stored, synthesizes the rest in one vectorized pass, and
+        stores the outcomes (failures included); the returned counters dict
+        (``received``/``present``/``synthesized``/``failures``) is advisory.
+        """
+        return self._request("synth_batch", (spec, items))
 
     def stats(self) -> dict:
         return self._request("stats")
@@ -870,6 +898,7 @@ class TcpCacheBackend:
 
     kind = "tcp"
     shared_across_processes = True
+    supports_batch_synthesis = True
 
     def __init__(
         self,
@@ -1000,6 +1029,28 @@ class TcpCacheBackend:
     def put_many(self, items: "list[tuple[bytes, _Entry]]") -> None:
         for server_index, server_items in self._group_by_server(items).items():
             self._request_degraded(server_index, "put_many", server_items)
+
+    def synth_batch(self, spec: dict, items: "list[tuple[bytes, np.ndarray]]") -> dict:
+        """Batch synthesis sharded across the ring, degrading dead servers.
+
+        Each item is routed to the server owning its key (the same ring as
+        ``get_many``, so the outcomes land where lookups will find them).
+        Items owned by a dead server are *not* synthesized remotely — they
+        come back in the ``dropped`` count and the caller falls back to
+        local scalar synthesis for them; a dying fleet costs speed, never a
+        dropped miss.
+        """
+        totals = {"received": 0, "present": 0, "synthesized": 0, "failures": 0, "dropped": 0}
+        for server_index, server_items in self._group_by_server(items).items():
+            reply = self._request_degraded(
+                server_index, "synth_batch", (spec, server_items), fallback=None
+            )
+            if reply is None:
+                totals["dropped"] += len(server_items)
+                continue
+            for field_name in ("received", "present", "synthesized", "failures"):
+                totals[field_name] += int(reply.get(field_name, 0))
+        return totals
 
     def stats(self) -> dict:
         totals = {"entries": 0, "puts": 0, "evictions": 0, "negative_entries": 0}

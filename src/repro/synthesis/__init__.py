@@ -11,16 +11,29 @@ from repro.synthesis.resynth import (
     ResynthesisOutcome,
 )
 
+# batch builds on resynth; keep this import after it (and note that batch
+# must never import repro.perf at module level — see its docstring)
+from repro.synthesis.batch import (
+    OFFLOAD_POLICIES,
+    BatchResynthesizer,
+    resynthesizer_from_spec,
+    resynthesizer_spec,
+)
+
 __all__ = [
+    "BatchResynthesizer",
     "CliffordTResynthesizer",
     "CliffordTSynthesizer",
     "EXACT_DISTANCE_FLOOR",
     "NumericalResynthesizer",
+    "OFFLOAD_POLICIES",
     "Resynthesizer",
     "ResynthesisOutcome",
     "TemplateSynthesisResult",
     "TemplateSynthesizer",
     "one_qubit_circuit",
+    "resynthesizer_from_spec",
+    "resynthesizer_spec",
     "u3_circuit",
     "zyz_angles",
 ]

@@ -103,6 +103,29 @@ class TemplateSynthesizer:
                 break
         return best if best is not None and best.distance <= self.epsilon else None
 
+    def synthesize_batch(
+        self, targets: "list[np.ndarray]"
+    ) -> "list[TemplateSynthesisResult | None]":
+        """Synthesize many targets, bit-identical to a scalar loop.
+
+        Every multi-qubit template instantiation consumes the synthesizer's
+        shared rng (restart seeds), so the batch runs strictly in item order
+        — batching here amortizes validation, not rng-serial optimization.
+        (The 1-qubit path is a closed-form Euler decomposition and could be
+        reordered freely, but it stays in order for one uniform guarantee.)
+        """
+        coerced = []
+        for target in targets:
+            target = np.asarray(target, dtype=COMPLEX_DTYPE)
+            dim = target.shape[0]
+            num_qubits = int(round(np.log2(dim)))
+            if 2**num_qubits != dim or target.shape != (dim, dim):
+                raise ValueError("target must be a 2^n x 2^n matrix for n in 1..3")
+            if num_qubits > 3:
+                raise ValueError("template synthesis supports at most 3 qubits")
+            coerced.append(target)
+        return [self.synthesize(target) for target in coerced]
+
     # -- internals ----------------------------------------------------------
 
     def _optimize_template(

@@ -88,6 +88,50 @@ class Resynthesizer:
         self.cache.put(unitary, outcome, key=key)
         return outcome
 
+    def resynthesize_many(self, blocks: "list[Circuit]") -> "list[ResynthesisOutcome | None]":
+        """The scalar reference the batched engine is pinned against.
+
+        A plain ordered loop of :meth:`resynthesize_cached` — every
+        :class:`repro.synthesis.BatchResynthesizer` result must be
+        bit-identical to this (same circuits, distances, charged epsilons,
+        cache entries, and rng stream); ``tests/test_batch_resynth.py`` is
+        the differential harness enforcing it.
+        """
+        return [self.resynthesize_cached(block) for block in blocks]
+
+    def rejects(self, block: Circuit) -> bool:
+        """True when :meth:`resynthesize` would refuse ``block`` up front.
+
+        The width/size guards every backend applies before synthesis.  Such
+        blocks still go through the cache in the scalar path (their miss is
+        memoized as a failure), so the batch engine routes them through its
+        ordered get/put phase but never the synthesis prepass.
+        """
+        return block.num_qubits > self.max_qubits or block.size() == 0
+
+    def presynthesize_batch(self, unitaries: "list[np.ndarray]") -> list:
+        """Rng-free batched synthesis prepass; ``None`` per item by default.
+
+        Backends with a vectorizable deterministic stage (Clifford+T shared
+        BFS) override this; a ``None`` slot means "no prepass result, run
+        the full scalar path for this item".  Implementations MUST NOT draw
+        from the backend's rng — the prepass runs ahead of the strict
+        item-order phase, and any draw here would shift the stream the
+        scalar path consumes (see ``docs/batching.md``).
+        """
+        return [None] * len(unitaries)
+
+    def finish_candidate(
+        self, block: Circuit, unitary: np.ndarray, candidate
+    ) -> "ResynthesisOutcome | None":
+        """Turn a :meth:`presynthesize_batch` candidate into a verified outcome.
+
+        Backends overriding the prepass pair it with this hook (cleanup +
+        verification, exactly the scalar post-synthesis tail); the default
+        matches the default prepass, which never produces candidates.
+        """
+        return None
+
     def _verify(
         self,
         block: Circuit,
@@ -187,6 +231,21 @@ class CliffordTResynthesizer(Resynthesizer):
         if unitary is None:
             unitary = block.unitary()
         candidate = self._synthesizer.synthesize(unitary)
+        return self.finish_candidate(block, unitary, candidate)
+
+    def presynthesize_batch(self, unitaries: "list[np.ndarray]") -> list:
+        """Shared-frontier BFS over the whole stack — rng-free by design.
+
+        Only the deterministic BFS stage runs here; targets it cannot solve
+        come back ``None`` and take the full scalar path (BFS re-run plus
+        annealing) at their position in the ordered phase, so the shared
+        rng stream is untouched by the prepass.
+        """
+        return self._synthesizer.bfs_batch(unitaries)
+
+    def finish_candidate(
+        self, block: Circuit, unitary: np.ndarray, candidate: "Circuit | None"
+    ) -> "ResynthesisOutcome | None":
         if candidate is None:
             return None
         candidate, _ = apply_until_fixpoint(candidate, self._cleanup_rules)

@@ -77,6 +77,67 @@ def apply_gate_to_matrix(
     return tensor.reshape(dim, columns)
 
 
+def phase_normalized(unitary: np.ndarray) -> np.ndarray:
+    """Divide out the global phase, fixed by a magnitude-stable pivot entry.
+
+    The pivot is the *first* entry (row-major) whose magnitude reaches half
+    the maximum.  Unlike an argmax pivot this choice is stable under global
+    phase multiplication even when many entries tie in magnitude (ubiquitous
+    for Hadamard-like unitaries), because magnitudes only move by an ulp
+    while the half-max threshold sits far from both sides of the tie.
+    """
+    flat = np.asarray(unitary).ravel()
+    magnitudes = np.abs(flat)
+    peak = float(magnitudes.max(initial=0.0))
+    if peak < 1e-12:
+        return np.asarray(unitary)
+    pivot = flat[int(np.argmax(magnitudes >= 0.5 * peak))]
+    return np.asarray(unitary) * (np.conj(pivot) / abs(pivot))
+
+
+def unitary_content_key(unitary: np.ndarray, decimals: int = 9) -> bytes:
+    """Hashable content key identifying a unitary up to global phase.
+
+    The one key helper both the perf-cache canonicalization and the
+    annealer's BFS memo build on: :func:`phase_normalized` (half-max pivot,
+    stable under phase ties) followed by quantization to ``decimals`` digits
+    (with ``-0.0`` folded into ``+0.0`` so the byte form is unique).  The
+    default grid of 9 digits matches the cache's 1e-9 content-match
+    tolerance, so this key never aliases two unitaries the cache
+    distinguishes.
+    """
+    normalized = phase_normalized(np.asarray(unitary, dtype=COMPLEX_DTYPE))
+    return (np.round(normalized, decimals) + 0.0).tobytes()
+
+
+def batched_hs_overlaps(targets: np.ndarray, unitary: np.ndarray) -> np.ndarray:
+    """``|Tr(T_i^dagger U)| / N`` for a stacked ``(B, N, N)`` target array.
+
+    One einsum over the stacked axis replaces ``B`` separate
+    ``trace(T.conj().T @ U)`` products — the vectorized screening kernel of
+    the batched resynthesis engine.  Float caveat: einsum may order the sum
+    differently than ``np.trace`` of a matmul, so per-item results can
+    differ from the scalar overlap in the last ulp; callers needing scalar
+    bit-identity must re-confirm near-threshold items with the scalar
+    formula (see ``docs/batching.md``, "Identity guarantee").
+    """
+    targets = np.asarray(targets, dtype=COMPLEX_DTYPE)
+    unitary = np.asarray(unitary, dtype=COMPLEX_DTYPE)
+    dim = unitary.shape[0]
+    return np.abs(np.einsum("bij,ij->b", targets.conj(), unitary)) / dim
+
+
+def batched_hs_distances(targets: np.ndarray, unitary: np.ndarray) -> np.ndarray:
+    """Hilbert–Schmidt distances of one unitary to a ``(B, N, N)`` stack.
+
+    The batched form of :func:`hilbert_schmidt_distance`, sharing its
+    clipping; the same last-ulp caveat as :func:`batched_hs_overlaps`
+    applies.
+    """
+    overlaps = np.minimum(1.0, batched_hs_overlaps(targets, unitary))
+    return np.sqrt(np.maximum(0.0, 1.0 - overlaps**2))
+
+
 def hilbert_schmidt_distance(unitary_a: np.ndarray, unitary_b: np.ndarray) -> float:
     """Hilbert–Schmidt distance (Def. 3.2), insensitive to global phase.
 

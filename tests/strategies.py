@@ -1,0 +1,140 @@
+"""Shared hypothesis strategies for circuit- and unitary-valued properties.
+
+One home for the generators the property suites draw from, so the rewrite
+properties (:mod:`test_rewrite_properties`), the synthesis differentials
+(:mod:`test_synthesis`), and the batched-vs-scalar resynthesis harness
+(:mod:`test_batch_resynth`) all sample the *same* distribution of circuits:
+a bug any one suite can trigger is reproducible in the others with the same
+hypothesis seed.
+
+Everything here is deterministic given the draw: gate parameters come from
+the fixed ``ANGLES`` palette (angles whose rewrite behaviour is interesting
+— Clifford multiples, pi fractions, and a few incommensurate values), and
+unitaries are built as circuit products rather than Haar samples so targets
+stay inside the synthesizers' reachable sets often enough to exercise both
+the success and the failure paths.
+"""
+
+import math
+
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+
+#: gate-parameter palette: Clifford/T multiples plus incommensurate angles
+ANGLES = [0.0, math.pi / 4, math.pi / 2, math.pi, -math.pi / 4, 0.3, 1.7, -2.2]
+
+#: per-gate-set one-qubit vocabulary as ``(gate, num_params)`` pairs
+GATE_SET_1Q = {
+    "ibmq20": [("u1", 1), ("u2", 2), ("u3", 3)],
+    "ibm-eagle": [("rz", 1), ("sx", 0), ("x", 0)],
+    "ionq": [("rx", 1), ("ry", 1), ("rz", 1)],
+    "nam": [("rz", 1), ("h", 0), ("x", 0)],
+    "clifford+t": [("t", 0), ("tdg", 0), ("s", 0), ("sdg", 0), ("h", 0), ("x", 0), ("z", 0)],
+}
+
+#: per-gate-set entangler
+GATE_SET_2Q = {
+    "ibmq20": "cx",
+    "ibm-eagle": "cx",
+    "ionq": "rxx",
+    "nam": "cx",
+    "clifford+t": "cx",
+}
+
+
+@st.composite
+def circuit_in_gate_set(
+    draw, gate_set_name: str, max_qubits: int = 4, max_length: int = 25, min_qubits: int = 2
+):
+    """A random circuit built only from ``gate_set_name``'s vocabulary."""
+    num_qubits = draw(st.integers(min_value=min_qubits, max_value=max_qubits))
+    length = draw(st.integers(min_value=0, max_value=max_length))
+    circuit = Circuit(num_qubits, name=f"random_{gate_set_name}")
+    one_qubit_choices = GATE_SET_1Q[gate_set_name]
+    entangler = GATE_SET_2Q[gate_set_name]
+    for _ in range(length):
+        if draw(st.booleans()) or num_qubits < 2:
+            gate, nparams = draw(st.sampled_from(one_qubit_choices))
+            qubit = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+            params = [draw(st.sampled_from(ANGLES)) for _ in range(nparams)]
+            circuit.add(gate, [qubit], params)
+        else:
+            a = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+            b = draw(st.integers(min_value=0, max_value=num_qubits - 1).filter(lambda x: x != a))
+            if entangler == "rxx":
+                circuit.add("rxx", [a, b], [draw(st.sampled_from(ANGLES))])
+            else:
+                circuit.add("cx", [a, b])
+    return circuit
+
+
+def small_circuit_in_gate_set(gate_set_name: str):
+    """Random 2-3 qubit circuit for per-rule equivalence properties."""
+    return circuit_in_gate_set(gate_set_name, max_qubits=3, max_length=20)
+
+
+@st.composite
+def clifford_t_blocks(draw, min_qubits: int = 1, max_qubits: int = 3, max_length: int = 8):
+    """Short Clifford+T blocks — resynthesis candidates for the batch harness.
+
+    Length is kept small so the BFS stage of
+    :class:`~repro.synthesis.CliffordTSynthesizer` succeeds on a useful
+    fraction of draws while the rest exercise the anneal and failure paths.
+    Width 1 draws are included (``min_qubits=1``) because the batched engine
+    buckets by width and must mix widths inside one batch.
+    """
+    return draw(
+        circuit_in_gate_set(
+            "clifford+t",
+            min_qubits=min_qubits,
+            max_qubits=max_qubits,
+            max_length=max_length,
+        )
+    )
+
+
+@st.composite
+def small_unitaries(draw, min_qubits: int = 1, max_qubits: int = 2, gate_set: str = "clifford+t"):
+    """A unitary matrix realized as a gate product (not Haar-random).
+
+    Circuit products keep targets inside — or near — the synthesizers'
+    reachable sets, so differential tests see genuine successes instead of
+    a wall of failures; Haar samples on >1 qubit are almost never exactly
+    synthesizable.
+    """
+    circuit = draw(
+        circuit_in_gate_set(
+            gate_set, min_qubits=min_qubits, max_qubits=max_qubits, max_length=10
+        )
+    )
+    return circuit.unitary()
+
+
+@st.composite
+def block_batches(draw, max_size: int = 6, max_qubits: int = 3):
+    """A list of Clifford+T blocks, possibly with exact duplicates.
+
+    Duplicates matter: the batched engine dedups its rng-free prepass by
+    content key and must still hand every duplicate the exact scalar-path
+    treatment (second instance hits the cache entry the first stored).
+    """
+    blocks = draw(
+        st.lists(clifford_t_blocks(max_qubits=max_qubits), min_size=0, max_size=max_size)
+    )
+    if blocks and draw(st.booleans()):
+        index = draw(st.integers(min_value=0, max_value=len(blocks) - 1))
+        blocks.append(blocks[index].copy())
+    return blocks
+
+
+__all__ = [
+    "ANGLES",
+    "GATE_SET_1Q",
+    "GATE_SET_2Q",
+    "block_batches",
+    "circuit_in_gate_set",
+    "clifford_t_blocks",
+    "small_circuit_in_gate_set",
+    "small_unitaries",
+]

@@ -147,6 +147,145 @@ class TestFrontEndDegradation:
         assert report.to_dict()["cache_dropped_requests"] >= 1
 
 
+class BatchFaultyBackend(FaultyBackend):
+    """A backend whose server-side batch synthesis worker dies mid-batch.
+
+    ``die_after_items`` entries are landed in the store before the death —
+    exactly what a worker crash between ``put_many`` flushes looks like —
+    then the call raises the same connection-level error a vanished server
+    would.  Regular ``get_many``/``put_many`` traffic stays healthy (the
+    huge ``fail_after``), so the tests isolate the batch-job fault path.
+    """
+
+    supports_batch_synthesis = True
+
+    def __init__(self, die_after_items: int = 0) -> None:
+        super().__init__(fail_after=10**9)
+        self.die_after_items = die_after_items
+        self.batch_calls = 0
+
+    def synth_batch(self, spec, items):
+        from repro.synthesis.batch import synthesize_missing_into_store
+
+        self.batch_calls += 1
+        if self.die_after_items < len(items):
+            landed = items[: self.die_after_items]
+            if landed:
+                synthesize_missing_into_store(self.inner, spec, landed)
+            raise ConnectionError("injected batch worker death")
+        return synthesize_missing_into_store(self.inner, spec, items)
+
+
+class TestBatchDispatchFaults:
+    """A dying batch worker degrades to per-item scalar synthesis, visibly.
+
+    The invariant: offload failure may cost speed, never a dropped miss —
+    every block in the batch still gets its outcome, ``batch_failures``
+    counts the event, and the degradation surfaces through the cache note
+    into ``PerfReport.notes``.
+    """
+
+    def _resynthesizer(self, backend):
+        cache = ResynthesisCache(
+            maxsize=64, shared=True, backend=backend, write_batch_size=1
+        )
+        return CliffordTResynthesizer(
+            epsilon=EPS, bfs_depth=4, anneal_iterations=20, anneal_restarts=1, rng=9
+        ).attach_cache(cache)
+
+    def _solvable_blocks(self):
+        # BFS-exact blocks: outcomes are rng-independent, so values can be
+        # compared across runs whose rng streams are not bit-aligned.
+        return [
+            Circuit(1).h(0).t(0),
+            Circuit(2).cx(0, 1).t(1),
+            Circuit(2).h(0).cx(0, 1),
+            Circuit(1).s(0),
+        ]
+
+    def test_total_batch_death_is_bit_identical_to_never_offloading(self):
+        from repro.synthesis.batch import BatchResynthesizer
+
+        blocks = self._solvable_blocks()
+        scalar = self._resynthesizer(BatchFaultyBackend(die_after_items=0))
+        faulty = self._resynthesizer(BatchFaultyBackend(die_after_items=0))
+        engine = BatchResynthesizer(faulty, offload="auto")
+        expected = scalar.resynthesize_many(blocks)
+        got = engine.resynthesize_batch(blocks)
+        assert got == expected
+        assert engine.batch_failures == 1
+        assert faulty.cache.backend.batch_calls == 1
+        stats = faulty.cache.stats()
+        assert stats.batch_failures == 1
+        assert stats.hits == scalar.cache.stats().hits
+        assert any("degraded to per-item scalar" in note for note in faulty.cache.notes)
+
+    def test_mid_batch_death_never_drops_a_miss(self):
+        from repro.synthesis.batch import BatchResynthesizer
+
+        blocks = self._solvable_blocks()
+        reference = CliffordTResynthesizer(
+            epsilon=EPS, bfs_depth=4, anneal_iterations=20, anneal_restarts=1, rng=9
+        )
+        expected = reference.resynthesize_many(blocks)
+        faulty = self._resynthesizer(BatchFaultyBackend(die_after_items=1))
+        engine = BatchResynthesizer(faulty, offload="auto")
+        got = engine.resynthesize_batch(blocks)
+        assert len(got) == len(blocks)
+        for got_outcome, expected_outcome in zip(got, expected):
+            assert (got_outcome is None) == (expected_outcome is None)
+            if expected_outcome is not None:
+                assert got_outcome.circuit == expected_outcome.circuit
+                assert got_outcome.distance == expected_outcome.distance
+        assert engine.batch_failures == 1
+        assert faulty.cache.stats().batch_failures == 1
+
+    def test_batch_failures_surface_through_perf_reports(self):
+        from repro.synthesis.batch import BatchResynthesizer
+
+        faulty = self._resynthesizer(BatchFaultyBackend(die_after_items=0))
+        engine = BatchResynthesizer(faulty, offload="auto")
+        engine.resynthesize_batch(self._solvable_blocks())
+        report = PerfReport(caches=[faulty.cache.stats()], notes=list(faulty.cache.notes))
+        assert report.cache_batch_failures == 1
+        assert report.to_dict()["cache_batch_failures"] == 1
+        assert any("degraded to per-item scalar" in note for note in report.notes)
+
+    def test_degradation_note_is_recorded_once(self):
+        from repro.synthesis.batch import BatchResynthesizer
+
+        faulty = self._resynthesizer(BatchFaultyBackend(die_after_items=0))
+        engine = BatchResynthesizer(faulty, offload="auto")
+        engine.resynthesize_batch(self._solvable_blocks()[:2])
+        engine.resynthesize_batch([cnot_conjugated_rz(0.11), cnot_conjugated_rz(0.13)])
+        assert engine.batch_failures == 2
+        notes = [note for note in faulty.cache.notes if "per-item scalar" in note]
+        assert len(notes) == 1, faulty.cache.notes
+
+    def test_tcp_batch_synthesis_on_dead_servers_counts_dropped(self):
+        from repro.synthesis.batch import BatchResynthesizer, resynthesizer_spec
+
+        process, address = start_tcp_cache_server(maxsize=64)
+        backend = TcpCacheBackend([address])
+        os.kill(process.pid, signal.SIGKILL)
+        process.join(timeout=10.0)
+        try:
+            # The raw client call degrades to a totals dict, never a raise.
+            resynthesizer = self._resynthesizer(backend)
+            spec = resynthesizer_spec(resynthesizer)
+            block = cnot_conjugated_rz(0.5)
+            key, _, canonical = resynthesizer.cache.canonical_key(block.unitary())
+            totals = backend.synth_batch(spec, [(key, canonical)])
+            assert totals["dropped"] == 1
+            # And the engine on top still resolves every block locally.
+            engine = BatchResynthesizer(resynthesizer, offload="auto")
+            results = engine.resynthesize_batch(self._solvable_blocks())
+            assert all(outcome is not None for outcome in results)
+            assert resynthesizer.cache.stats().batch_failures >= 1
+        finally:
+            backend.close()
+
+
 def _clifford_t_transformations():
     resynthesizer = CliffordTResynthesizer(
         epsilon=EPS,

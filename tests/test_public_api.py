@@ -21,6 +21,7 @@ PUBLIC_PACKAGES = [
     "repro",
     "repro.parallel",
     "repro.perf",
+    "repro.synthesis",
     "repro.distrib",
     "repro.serve",
     "repro.baselines",
@@ -40,7 +41,14 @@ def test_all_names_resolve(package_name):
 
 @pytest.mark.parametrize(
     "package_name",
-    ["repro", "repro.parallel", "repro.perf", "repro.distrib", "repro.serve"],
+    [
+        "repro",
+        "repro.parallel",
+        "repro.perf",
+        "repro.synthesis",
+        "repro.distrib",
+        "repro.serve",
+    ],
 )
 def test_api_doc_covers_exports(package_name):
     """docs/api.md must mention every name these packages export."""
@@ -72,6 +80,7 @@ def test_docs_tree_is_linked_from_readme():
     for page in (
         "architecture.md",
         "caching.md",
+        "batching.md",
         "distributed.md",
         "serving.md",
         "benchmarks.md",

@@ -1,65 +1,21 @@
 """Property-based tests: every rewrite library preserves circuit semantics.
 
-Random circuits are generated inside each gate set; applying the full rule
-library to a fixpoint must (1) preserve the unitary up to global phase,
-(2) never increase the total gate count, and (3) keep the circuit inside its
-gate set.
+Random circuits are generated inside each gate set (strategies shared with
+the synthesis and batch-resynthesis suites via :mod:`strategies`); applying
+the full rule library to a fixpoint must (1) preserve the unitary up to
+global phase, (2) never increase the total gate count, and (3) keep the
+circuit inside its gate set.
 """
-
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
+from strategies import circuit_in_gate_set, small_circuit_in_gate_set
 
 from repro.circuits import Circuit, circuit_distance
 from repro.gatesets import ALL_GATE_SETS
 from repro.rewrite import apply_until_fixpoint, rules_for_gate_set
 
 EPS = 5e-6
-MAX_QUBITS = 4
-
-_ANGLES = [0.0, math.pi / 4, math.pi / 2, math.pi, -math.pi / 4, 0.3, 1.7, -2.2]
-
-_GATE_SET_1Q = {
-    "ibmq20": [("u1", 1), ("u2", 2), ("u3", 3)],
-    "ibm-eagle": [("rz", 1), ("sx", 0), ("x", 0)],
-    "ionq": [("rx", 1), ("ry", 1), ("rz", 1)],
-    "nam": [("rz", 1), ("h", 0), ("x", 0)],
-    "clifford+t": [("t", 0), ("tdg", 0), ("s", 0), ("sdg", 0), ("h", 0), ("x", 0), ("z", 0)],
-}
-
-_GATE_SET_2Q = {
-    "ibmq20": "cx",
-    "ibm-eagle": "cx",
-    "ionq": "rxx",
-    "nam": "cx",
-    "clifford+t": "cx",
-}
-
-
-@st.composite
-def circuit_in_gate_set(
-    draw, gate_set_name: str, max_qubits: int = MAX_QUBITS, max_length: int = 25
-):
-    num_qubits = draw(st.integers(min_value=2, max_value=max_qubits))
-    length = draw(st.integers(min_value=0, max_value=max_length))
-    circuit = Circuit(num_qubits, name=f"random_{gate_set_name}")
-    one_qubit_choices = _GATE_SET_1Q[gate_set_name]
-    entangler = _GATE_SET_2Q[gate_set_name]
-    for _ in range(length):
-        if draw(st.booleans()) or num_qubits < 2:
-            gate, nparams = draw(st.sampled_from(one_qubit_choices))
-            qubit = draw(st.integers(min_value=0, max_value=num_qubits - 1))
-            params = [draw(st.sampled_from(_ANGLES)) for _ in range(nparams)]
-            circuit.add(gate, [qubit], params)
-        else:
-            a = draw(st.integers(min_value=0, max_value=num_qubits - 1))
-            b = draw(st.integers(min_value=0, max_value=num_qubits - 1).filter(lambda x: x != a))
-            if entangler == "rxx":
-                circuit.add("rxx", [a, b], [draw(st.sampled_from(_ANGLES))])
-            else:
-                circuit.add("cx", [a, b])
-    return circuit
 
 
 def _check_library_on(circuit: Circuit, gate_set_name: str) -> None:
@@ -78,11 +34,6 @@ class TestRewriteLibrariesPreserveSemantics:
     def test_random_circuits(self, gate_set_name, data):
         circuit = data.draw(circuit_in_gate_set(gate_set_name))
         _check_library_on(circuit, gate_set_name)
-
-
-def small_circuit_in_gate_set(gate_set_name: str):
-    """Random 2-3 qubit circuit for the per-rule equivalence property."""
-    return circuit_in_gate_set(gate_set_name, max_qubits=3, max_length=20)
 
 
 @pytest.mark.parametrize("gate_set_name", sorted(ALL_GATE_SETS))

@@ -4,6 +4,8 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
+from strategies import small_unitaries
 
 from repro.circuits import Circuit, circuit_distance
 from repro.gatesets import CLIFFORD_T, IBM_EAGLE, IBMQ20, IONQ, decompose_to_gate_set
@@ -92,6 +94,58 @@ class TestCliffordTSynthesizer:
     def test_rejects_bad_shape(self):
         with pytest.raises(ValueError):
             CliffordTSynthesizer().synthesize(np.eye(3))
+
+
+class TestSynthesizerBatchEqualsScalar:
+    """Property differentials: ``synthesize_batch`` == a scalar loop.
+
+    These pin the *synthesizer*-level contract (the resynthesizer-level one,
+    through the cache, lives in test_batch_resynth.py): on identically
+    seeded instances the batched entry point must return bit-identical
+    circuits — same successes, same failures, in order — because the batch
+    engines share one rng and consume it strictly in item order.
+    """
+
+    @settings(max_examples=12, deadline=None)
+    @given(data=st.data())
+    def test_clifford_t_batch_matches_scalar_loop(self, data):
+        targets = data.draw(st.lists(small_unitaries(max_qubits=2), min_size=0, max_size=4))
+        scalar = CliffordTSynthesizer(rng=7, bfs_depth=5, anneal_iterations=40)
+        batched = CliffordTSynthesizer(rng=7, bfs_depth=5, anneal_iterations=40)
+        expected = [scalar.synthesize(target) for target in targets]
+        got = batched.synthesize_batch(targets)
+        assert got == expected
+
+    @settings(max_examples=8, deadline=None)
+    @given(data=st.data())
+    def test_template_batch_matches_scalar_loop(self, data):
+        targets = data.draw(
+            st.lists(
+                small_unitaries(max_qubits=2, gate_set="ibm-eagle"), min_size=0, max_size=3
+            )
+        )
+        kwargs = dict(max_layers=2, restarts=2, maxiter=40, time_budget=None)
+        scalar = TemplateSynthesizer(rng=3, **kwargs)
+        batched = TemplateSynthesizer(rng=3, **kwargs)
+        expected = [scalar.synthesize(target) for target in targets]
+        got = batched.synthesize_batch(targets)
+        assert len(got) == len(expected)
+        for got_result, expected_result in zip(got, expected):
+            if expected_result is None:
+                assert got_result is None
+            else:
+                assert got_result is not None
+                assert got_result.circuit == expected_result.circuit
+                assert got_result.distance == expected_result.distance
+
+    def test_clifford_t_bfs_batch_draws_no_rng(self):
+        # The rng-free guarantee the batch engine's prepass relies on: the
+        # BFS stage must leave the generator stream untouched.
+        targets = [Circuit(1).t(0).unitary(), Circuit(2).cx(0, 1).unitary()]
+        synthesizer = CliffordTSynthesizer(rng=11)
+        before = synthesizer.rng.bit_generator.state
+        synthesizer.bfs_batch(targets)
+        assert synthesizer.rng.bit_generator.state == before
 
 
 class TestNumericalResynthesizer:
