@@ -67,6 +67,8 @@ def determinism_demo() -> None:
     baseline = run_local(job, plan)
     distributed = run_cluster(job, plan, hosts=2)
     print(f"hosts: {', '.join(distributed.hosts)}; shard owners {distributed.shard_hosts}")
+    for event in distributed.steals:
+        print(f"  steal: {event}")
     for case in distributed.cases:
         merged = case.merged
         print(

@@ -6,22 +6,26 @@ cooperating parts, each runnable standalone (see ``docs/distributed.md``):
 
 * the **coordinator** (:mod:`repro.distrib.coordinator`) deterministically
   shards a benchmark suite — or replicated portfolio groups for one
-  circuit — into a :class:`~repro.distrib.plan.ShardPlan`, streams shards
-  to registered host agents over ``multiprocessing.connection``, re-queues
-  shards lost to host failures, and merges returned results under the
+  circuit — into a :class:`~repro.distrib.plan.ShardPlan`, streams case
+  batches to registered host agents over ``multiprocessing.connection``,
+  steals the tail of a slow host's batch for idle ones, re-queues only the
+  *unfinished* runs lost to host failures, optionally relays the global
+  best incumbent per case back to working replicas
+  (``cross_host_exchange``), and merges returned results under the
   portfolio's machine-count-agnostic semantics;
-* **host agents** (:mod:`repro.distrib.worker`) pull shards and run them
-  through local :class:`~repro.parallel.PortfolioOptimizer` instances,
-  reporting per-shard :class:`~repro.perf.PerfReport`\\ s;
+* **host agents** (:mod:`repro.distrib.worker`) pull case batches and run
+  them through local :class:`~repro.parallel.PortfolioOptimizer` instances
+  one exchange round at a time, reporting each finished run (with its
+  :class:`~repro.perf.PerfReport`) as it completes;
 * the **cache server** (:mod:`repro.distrib.cache_server`) serves a shared
   resynthesis store over TCP that
   :class:`~repro.perf.shared_cache.TcpCacheBackend` clients on every host
   shard keys across (``share_resynthesis_cache="tcp://host:port,..."``).
 
 Determinism contract: with a root seed and iteration-bounded runs (and no
-cross-host cache coupling trajectories), the merged result is a pure
-function of ``root seed + shard plan`` — independent of host count, shard
-completion order, and mid-run host losses.
+cross-host cache or cross-host exchange coupling trajectories), the merged
+result is a pure function of ``root seed + shard plan`` — independent of
+host count, work stealing, completion order, and mid-run host losses.
 """
 
 # Exports resolve lazily so ``python -m repro.distrib.<cli>`` does not
@@ -34,6 +38,7 @@ _EXPORT_MODULES = {
     "DistributedSuiteResult": "repro.distrib.merge",
     "ShardResult": "repro.distrib.merge",
     "circuit_fingerprint": "repro.distrib.merge",
+    "merge_case_results": "repro.distrib.merge",
     "merge_portfolio_results": "repro.distrib.merge",
     "merge_shard_results": "repro.distrib.merge",
     "result_fingerprint": "repro.distrib.merge",
@@ -86,6 +91,7 @@ __all__ = [
     "execute_shard",
     "job_case_names",
     "make_shard_plan",
+    "merge_case_results",
     "merge_portfolio_results",
     "merge_shard_results",
     "result_fingerprint",

@@ -3,25 +3,52 @@
 ``python -m repro.distrib.coordinator`` binds an ``AF_INET``
 ``multiprocessing.connection.Listener`` (the same length-prefixed pickle
 framing the cache server speaks), deterministically shards a benchmark
-suite into a :class:`~repro.distrib.plan.ShardPlan`, and serves shards to
-whichever host agents (:mod:`repro.distrib.worker`) register — a pull
-model, so hosts of different speeds self-balance and the coordinator never
-needs to know the cluster size in advance.
+suite into a :class:`~repro.distrib.plan.ShardPlan`, and serves *case
+batches* to whichever host agents (:mod:`repro.distrib.worker`) register —
+a pull model, so hosts of different speeds self-balance and the coordinator
+never needs to know the cluster size in advance.
 
-Failure semantics: a shard is *outstanding* from dispatch until its result
-arrives.  If the owning connection drops (host crash, network cut) or the
-host reports an execution error, the shard goes back on the queue and the
-next idle host re-runs it; because run seeds live in the plan, the re-run
-reproduces what the lost host would have computed, so re-queuing never
-perturbs the merged outcome.  Results for a shard that somehow completes
-twice keep the first arrival.  The run finishes when every shard has a
-result; merging (:mod:`repro.distrib.merge`) then orders everything by the
-plan, making the merged result independent of host count and arrival order.
+The protocol is anytime and elastic (see ``docs/distributed.md`` for the
+wire format):
+
+* **Case-granular progress** — agents report each
+  :class:`~repro.distrib.plan.CaseRun` as it finishes (``case-result``),
+  not one opaque blob per shard, so the coordinator's ledger always knows
+  exactly which runs are done.  A lost host forfeits only its *unfinished*
+  runs; everything it already reported survives.
+* **Elastic work stealing** — when an idle host asks for work and the
+  queue is empty, the coordinator splits the tail off the largest
+  outstanding assignment and hands it over.  Sound because run seeds live
+  in the plan (derived from the root seed, never from the executing host),
+  so a stolen run computes bit-for-bit what the victim would have.
+* **Cross-host incumbent exchange** (``job.cross_host_exchange``) — agents
+  periodically publish their best ``(cost, error bound, circuit)`` per run;
+  the coordinator keeps a per-case global board and relays strictly better
+  incumbents back on the next heartbeat.  Replica 0 of each case is the
+  anchor and never adopts, and bounds travel with circuits, so the
+  soundness and portfolio >= solo invariants of the in-machine exchange
+  hold across machines.
+
+Failure semantics: a run is *outstanding* from dispatch until its result
+arrives.  If the owning connection drops (host crash, network cut) the
+unfinished remainder of its assignment goes back on the queue; if the host
+reports a per-case execution error, just that run is re-queued.  Because
+run seeds live in the plan, a re-run reproduces what the lost host would
+have computed, so re-queuing never perturbs the merged outcome.  Results
+for a run that somehow completes twice keep the first arrival.  Re-queuing
+is capped per run: a run that keeps failing is failing *deterministically*
+(same seeds everywhere) and the coordinator aborts — and an aborted (or
+timed-out) run answers every subsequent agent message with an explicit
+``abort`` so connected agents exit cleanly instead of crunching for a dead
+run.  The run finishes when every planned run has a result; merging
+(:mod:`repro.distrib.merge`) then orders everything by the plan, making the
+merged result independent of host count, stealing, and arrival order.
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import socket
 import threading
@@ -31,12 +58,11 @@ from multiprocessing.connection import Listener
 
 from repro.distrib.merge import (
     DistributedSuiteResult,
-    ShardResult,
-    merge_shard_results,
+    merge_case_results,
 )
 from repro.distrib.plan import (
+    CaseRun,
     DistributedJob,
-    Shard,
     ShardPlan,
     job_case_names,
     make_shard_plan,
@@ -47,76 +73,317 @@ from repro.perf.report import PerfReport
 from repro.perf.shared_cache import drain_connection_pool
 
 
-class _CoordinatorState:
-    """Shard queue + results, shared across per-connection handler threads."""
+def _run_label(key: "tuple[str, int]") -> str:
+    name, replica = key
+    return f"{name}#r{replica}"
 
-    def __init__(self, plan: ShardPlan, max_shard_attempts: int = 5) -> None:
+
+class _Assignment:
+    """A batch of runs dispatched to one host.
+
+    Starts as a plan shard; a steal may later carve off its tail, so
+    ``remaining`` (runs not yet completed or revoked) is the live view.
+    ``remaining[0]`` is the run the host is executing (hosts run batches in
+    order and report each run as it finishes), which is why steals only
+    ever take from index 1 on.
+    """
+
+    __slots__ = ("id", "host", "runs", "remaining")
+
+    def __init__(self, assignment_id: int, host: str, runs: "list[CaseRun]") -> None:
+        self.id = assignment_id
+        self.host = host
+        self.runs = tuple(runs)
+        self.remaining = list(runs)
+
+
+class _CoordinatorState:
+    """Case-granular run ledger, shared across per-connection handler threads.
+
+    One lock guards everything: dispatch (including steals), completion,
+    re-queuing, the incumbent board, and the abort flag.  All methods are
+    thread-safe entry points for the handler threads.
+    """
+
+    def __init__(
+        self,
+        job: DistributedJob,
+        plan: ShardPlan,
+        max_shard_attempts: int = 5,
+        steal: bool = True,
+    ) -> None:
+        self.job = job
         self.plan = plan
-        self.pending: "deque[Shard]" = deque(plan.shards)
-        self.outstanding: "dict[int, str]" = {}
-        self.results: "dict[int, ShardResult]" = {}
+        self.exchange = bool(getattr(job, "cross_host_exchange", False))
+        self.steal_enabled = steal
+        self.num_runs = plan.num_runs
+        self._runs: "dict[tuple[str, int], CaseRun]" = {
+            (run.name, run.replica): run for shard in plan.shards for run in shard.runs
+        }
+        #: queue of run batches awaiting dispatch (initially the plan shards)
+        self.pending: "deque[tuple[CaseRun, ...]]" = deque(
+            tuple(shard.runs) for shard in plan.shards
+        )
+        self.live: "dict[int, _Assignment]" = {}
+        self._ids = itertools.count()
+        self.case_results: "dict[tuple[str, int], object]" = {}
+        self.case_hosts: "dict[tuple[str, int], str]" = {}
+        #: host assignments per run, counted at dispatch; the abort cap
+        #: allows ``max_shard_attempts`` re-queue retries *after* the first
+        #: assignment (so a run may be assigned ``max_shard_attempts + 1``
+        #: times in total before the coordinator gives up)
+        self.attempts: "dict[tuple[str, int], int]" = {}
+        self.max_shard_attempts = max(1, int(max_shard_attempts))
         self.hosts: "list[str]" = []
         self.requeues: "list[str]" = []
-        self.shard_hosts: "dict[int, str]" = {}
-        self.attempts: "dict[int, int]" = {}
-        self.max_shard_attempts = max_shard_attempts
+        self.steals: "list[str]" = []
+        self.adoptions: "list[str]" = []
+        self.duplicates = 0
+        #: per-host revocation sets: runs this host should skip because a
+        #: twin finished first or a thief now owns them
+        self.revoked: "dict[str, set[tuple[str, int]]]" = {}
+        #: global incumbent board: case name -> (cost, error, circuit, source)
+        self.incumbents: "dict[str, tuple[float, float, object, str]]" = {}
         self.fatal: "str | None" = None
+        self.aborted: "str | None" = None
         self.lock = threading.Lock()
         self.finished = threading.Event()
+
+    # -- dispatch --------------------------------------------------------------
 
     def register(self, host: str) -> None:
         with self.lock:
             if host not in self.hosts:
                 self.hosts.append(host)
 
-    def take(self, host: str) -> "Shard | None":
+    def take(self, host: str) -> "_Assignment | None":
+        """Hand ``host`` its next batch: queued work first, then a stolen tail."""
         with self.lock:
-            if not self.pending:
+            if self.aborted is not None or self.finished.is_set():
                 return None
-            shard = self.pending.popleft()
-            self.outstanding[shard.index] = host
-            return shard
+            while self.pending:
+                batch = [
+                    run
+                    for run in self.pending.popleft()
+                    if (run.name, run.replica) not in self.case_results
+                ]
+                if batch:
+                    return self._dispatch(host, batch)
+            if self.steal_enabled:
+                stolen = self._steal_tail(host)
+                if stolen:
+                    return self._dispatch(host, stolen)
+            return None
 
-    def complete(self, index: int, result: ShardResult) -> None:
+    def _dispatch(self, host: str, runs: "list[CaseRun]") -> _Assignment:
+        assignment = _Assignment(next(self._ids), host, runs)
+        self.live[assignment.id] = assignment
+        for run in runs:
+            key = (run.name, run.replica)
+            self.attempts[key] = self.attempts.get(key, 0) + 1
+        return assignment
+
+    def _steal_tail(self, thief: str) -> "list[CaseRun]":
+        """Split the tail off the largest outstanding assignment (caller locks).
+
+        The victim keeps the head half (``remaining[0]`` is in flight); the
+        stolen runs are revoked from the victim on its next heartbeat.
+        Deterministic victim choice (largest remainder, ties to the oldest
+        assignment) keeps steal logs stable run to run.
+        """
+        candidates = [
+            assignment
+            for assignment in self.live.values()
+            if assignment.host != thief and len(assignment.remaining) >= 2
+        ]
+        if not candidates:
+            return []
+        victim = max(candidates, key=lambda a: (len(a.remaining), -a.id))
+        keep = (len(victim.remaining) + 1) // 2
+        stolen = victim.remaining[keep:]
+        victim.remaining = victim.remaining[:keep]
+        keys = [(run.name, run.replica) for run in stolen]
+        self.revoked.setdefault(victim.host, set()).update(keys)
+        self.steals.append(
+            f"{thief} stole [{', '.join(_run_label(key) for key in keys)}] "
+            f"from {victim.host}"
+        )
+        return stolen
+
+    # -- completion / failure --------------------------------------------------
+
+    def complete(self, host: str, key: "tuple[str, int]", result) -> None:
         with self.lock:
-            self.outstanding.pop(index, None)
-            if index in self.results:
-                return  # a re-queued twin already delivered; keep first arrival
-            self.results[index] = result
-            self.shard_hosts[index] = result.host
-            if len(self.results) == len(self.plan.shards):
+            # Scrub the run from every live assignment: the reporter's own,
+            # and any re-queued twin (whose host gets a revocation so it can
+            # skip the duplicate instead of re-computing it).
+            for assignment in list(self.live.values()):
+                before = len(assignment.remaining)
+                assignment.remaining = [
+                    run
+                    for run in assignment.remaining
+                    if (run.name, run.replica) != key
+                ]
+                if len(assignment.remaining) != before and assignment.host != host:
+                    self.revoked.setdefault(assignment.host, set()).add(key)
+                if not assignment.remaining:
+                    del self.live[assignment.id]
+            if key in self.case_results:
+                self.duplicates += 1  # first arrival wins; twins are identical
+                return
+            self.case_results[key] = result
+            self.case_hosts[key] = host
+            if self.exchange:
+                # A finished replica's final incumbent can still pull a
+                # straggler replica of the same case forward.
+                self._publish(
+                    key[0],
+                    result.best_cost,
+                    result.error_bound,
+                    result.best_circuit,
+                    f"{host}/r{key[1]}",
+                )
+            if len(self.case_results) == self.num_runs:
                 self.finished.set()
 
-    def requeue(self, index: int, reason: str) -> None:
-        """Put an outstanding shard back on the queue (host lost / errored).
-
-        Attempts are capped: a shard that keeps failing is almost certainly
-        failing *deterministically* (same seeds everywhere), and re-queuing
-        cannot fix that — the run aborts with the last reason instead of
-        spinning forever.
+    def fail_case(self, host: str, key: "tuple[str, int]", reason: str) -> None:
+        """One run raised on ``host``: re-queue it (capped) — satellite of the
+        case-granular protocol; the host keeps executing the rest of its batch.
         """
         with self.lock:
-            host = self.outstanding.pop(index, None)
-            if host is None or index in self.results:
+            for assignment in list(self.live.values()):
+                if assignment.host != host:
+                    continue
+                assignment.remaining = [
+                    run
+                    for run in assignment.remaining
+                    if (run.name, run.replica) != key
+                ]
+                if not assignment.remaining:
+                    del self.live[assignment.id]
+            if key in self.case_results or self.aborted is not None:
                 return
-            self.requeues.append(f"shard {index} re-queued from {host}: {reason}")
-            attempts = self.attempts.get(index, 0) + 1
-            self.attempts[index] = attempts
-            if attempts >= self.max_shard_attempts:
-                self.fatal = (
-                    f"shard {index} failed on {attempts} host assignments; "
-                    f"giving up (last: {reason})"
+            self.requeues.append(f"case {_run_label(key)} re-queued from {host}: {reason}")
+            if self._over_cap(key, reason):
+                return
+            self.pending.append((self._runs[key],))
+
+    def lost(self, host: str, held: "set[int]") -> None:
+        """A connection died: re-queue only the *unfinished* runs it held.
+
+        Completed runs already live in ``case_results`` — the point of
+        case-granular reporting is that a host loss never discards work that
+        was reported before the loss.
+        """
+        with self.lock:
+            self.revoked.pop(host, None)
+            if self.aborted is not None or self.finished.is_set():
+                return
+            for assignment_id in held:
+                assignment = self.live.pop(assignment_id, None)
+                if assignment is None:
+                    continue  # fully completed (or fully stolen) before the loss
+                remaining = [
+                    run
+                    for run in assignment.remaining
+                    if (run.name, run.replica) not in self.case_results
+                ]
+                if not remaining:
+                    continue
+                labels = ", ".join(
+                    _run_label((run.name, run.replica)) for run in remaining
                 )
-                self.finished.set()
-                return
-            shard = next(s for s in self.plan.shards if s.index == index)
-            self.pending.append(shard)
+                self.requeues.append(
+                    f"cases [{labels}] re-queued from {host}: connection lost"
+                )
+                for run in remaining:
+                    if self._over_cap((run.name, run.replica), "connection lost"):
+                        return
+                self.pending.append(tuple(remaining))
+
+    def _over_cap(self, key: "tuple[str, int]", reason: str) -> bool:
+        """Abort when a run has exhausted its re-queue retries (caller locks).
+
+        ``attempts`` counts *host assignments* (incremented at dispatch), so
+        the cap trips only after ``max_shard_attempts`` full re-queue retries
+        beyond the first assignment — not one retry early.
+        """
+        attempts = self.attempts.get(key, 1)
+        if attempts <= self.max_shard_attempts:
+            return False
+        outstanding = sorted(set(self._runs) - set(self.case_results))
+        shard_indices = sorted(
+            {
+                shard.index
+                for shard in self.plan.shards
+                for run in shard.runs
+                if (run.name, run.replica) not in self.case_results
+            }
+        )
+        self.fatal = (
+            f"case {_run_label(key)} failed on {attempts} host assignments "
+            f"(1 initial + {self.max_shard_attempts} re-queue retries); "
+            f"giving up (last: {reason}); still outstanding: "
+            f"[{', '.join(_run_label(k) for k in outstanding)}] "
+            f"in plan shards {shard_indices}"
+        )
+        self.aborted = self.fatal
+        self.finished.set()
+        return True
+
+    def abort(self, reason: str) -> None:
+        """Mark the run dead: every subsequent agent message is answered
+        ``abort`` so connected hosts stop instead of crunching for nothing."""
+        with self.lock:
+            if self.aborted is None:
+                self.aborted = reason
+            self.finished.set()
+
+    # -- incumbent exchange ----------------------------------------------------
+
+    def _publish(self, name: str, cost: float, error: float, circuit, source: str) -> None:
+        if circuit is None:
+            return  # a heartbeat without a payload cannot seed the board
+        best = self.incumbents.get(name)
+        if best is None or cost < best[0]:
+            self.incumbents[name] = (float(cost), float(error), circuit, source)
+
+    def record_exchange(self, host: str, publishes, adopted) -> None:
+        """Fold one agent heartbeat into the board (publishes + adoption log)."""
+        with self.lock:
+            if self.exchange:
+                for name, replica, cost, error, circuit in publishes:
+                    self._publish(name, cost, error, circuit, f"{host}/r{replica}")
+            for note in adopted:
+                self.adoptions.append(note)
+
+    def update_for(self, host: str, queries=()) -> dict:
+        """The coordinator's half of a heartbeat reply.
+
+        ``revoked`` — runs this host should skip (finished elsewhere or
+        stolen); delivered exactly once.  ``incumbents`` — for each queried
+        ``(case name, cost)``, the board's incumbent when *strictly* better
+        than the query (so an agent is never handed state it cannot improve
+        on, and exchange-off runs never see a circuit payload at all).
+        """
+        with self.lock:
+            update: dict = {"revoked": sorted(self.revoked.pop(host, ()))}
+            incumbents = {}
+            if self.exchange:
+                for name, cost in queries:
+                    best = self.incumbents.get(name)
+                    if best is not None and best[0] < cost:
+                        incumbents[name] = (best[0], best[1], best[2])
+            update["incumbents"] = incumbents
+            return update
 
     def snapshot(self) -> str:
         with self.lock:
+            outstanding = sum(len(a.remaining) for a in self.live.values())
             return (
-                f"{len(self.results)}/{len(self.plan.shards)} shards done, "
-                f"{len(self.pending)} pending, {len(self.outstanding)} outstanding"
+                f"{len(self.case_results)}/{self.num_runs} runs done, "
+                f"{len(self.pending)} batch(es) pending, "
+                f"{outstanding} outstanding"
             )
 
 
@@ -134,38 +401,65 @@ def _serve_agent(connection, state: _CoordinatorState, job: DistributedJob) -> N
                 host = str(payload)
                 state.register(host)
                 connection.send(
-                    ("welcome", {"shards": len(state.plan.shards), "runs": state.plan.num_runs})
+                    (
+                        "welcome",
+                        {
+                            "runs": state.num_runs,
+                            "shards": len(state.plan.shards),
+                            "exchange": state.exchange,
+                        },
+                    )
                 )
-            elif op == "next":
-                shard = state.take(host)
-                if shard is not None:
-                    held.add(shard.index)
-                    connection.send(("shard", (shard, job)))
+                continue
+            if op == "ping":
+                connection.send(("pong", None))
+                continue
+            if state.aborted is not None:
+                # A dead run (timeout / attempt-cap abort) tells its agents
+                # so; they exit cleanly with the reason instead of crunching
+                # a doomed batch and crashing on report.
+                connection.send(("abort", state.aborted))
+                continue
+            if op == "next":
+                assignment = state.take(host)
+                if assignment is not None:
+                    held.add(assignment.id)
+                    connection.send(("assign", (assignment.id, assignment.runs, job)))
                 elif state.finished.is_set():
                     connection.send(("done", None))
                 else:
-                    # Work may still flow back: an outstanding shard on a
-                    # dying host would land here after a re-queue.
+                    # Work may still flow back: outstanding runs on a dying
+                    # host would land here after a re-queue.
                     connection.send(("wait", 0.2))
-            elif op == "result":
-                index, shard_result = payload
-                held.discard(index)
-                state.complete(index, shard_result)
-                connection.send(("ok", None))
-            elif op == "error":
-                index, message = payload
-                held.discard(index)
-                state.requeue(index, f"host error: {message}")
-                connection.send(("ok", None))
-            elif op == "ping":
-                connection.send(("pong", None))
+            elif op == "case-result":
+                _assignment_id, key, result = payload
+                state.complete(host, tuple(key), result)
+                reply = (
+                    ("abort", state.aborted)
+                    if state.aborted is not None
+                    else ("ok", state.update_for(host))
+                )
+                connection.send(reply)
+            elif op == "case-error":
+                _assignment_id, key, message = payload
+                state.fail_case(host, tuple(key), f"host error: {message}")
+                reply = (
+                    ("abort", state.aborted)
+                    if state.aborted is not None
+                    else ("ok", state.update_for(host))
+                )
+                connection.send(reply)
+            elif op == "progress":
+                _assignment_id, publishes, adopted = payload
+                state.record_exchange(host, publishes, adopted)
+                queries = [(name, cost) for name, _replica, cost, _err, _c in publishes]
+                connection.send(("ok", state.update_for(host, queries)))
             else:
                 connection.send(("unknown-op", op))
     finally:
         connection.close()
-        # A vanished host forfeits everything it was holding.
-        for index in held:
-            state.requeue(index, "connection lost")
+        # A vanished host forfeits only the *unfinished* runs it was holding.
+        state.lost(host, held)
 
 
 def _wake_listener(address, authkey: bytes, finished: threading.Event, deadline: "float | None"):
@@ -183,13 +477,18 @@ def _wake_listener(address, authkey: bytes, finished: threading.Event, deadline:
 
 
 class Coordinator:
-    """Own one distributed run: bind, dispatch, re-queue, merge.
+    """Own one distributed run: bind, dispatch, steal, re-queue, merge.
 
-    ``serve()`` blocks until every shard has reported and returns the merged
-    :class:`~repro.distrib.merge.DistributedSuiteResult`; ``start()`` runs
-    it on a background thread (returning the bound address once listening)
-    with ``join()`` to collect the result — the in-process form tests and
-    drivers embed.
+    ``serve()`` blocks until every planned run has reported and returns the
+    merged :class:`~repro.distrib.merge.DistributedSuiteResult`; ``start()``
+    runs it on a background thread (returning the bound address once
+    listening) with ``join()`` to collect the result — the in-process form
+    tests and drivers embed.
+
+    ``steal`` enables elastic work stealing (on by default; turn it off to
+    reproduce strict shard-ownership dispatch).  ``max_shard_attempts`` caps
+    *re-queue retries per run*: a run may be assigned to hosts at most
+    ``max_shard_attempts + 1`` times before the coordinator aborts.
     """
 
     def __init__(
@@ -201,10 +500,11 @@ class Coordinator:
         authkey: "bytes | None" = None,
         timeout: "float | None" = None,
         max_shard_attempts: int = 5,
+        steal: bool = True,
         drain_pool: bool = True,
     ) -> None:
         # Fail before binding: a case name no host can resolve would fail
-        # deterministically on every assignment (see requeue's attempt cap).
+        # deterministically on every assignment (see the re-queue cap).
         validate_job_cases(job, plan.case_names)
         self.job = job
         self.plan = plan
@@ -213,6 +513,7 @@ class Coordinator:
         self.authkey = bytes(authkey) if authkey is not None else distrib_authkey()
         self.timeout = timeout
         self.max_shard_attempts = max_shard_attempts
+        self.steal = steal
         # The connection pool is process-wide: a coordinator embedded in a
         # process with *other* live pool users (the serve layer's offload —
         # its clients share the pool) must not drain it under them.
@@ -233,7 +534,7 @@ class Coordinator:
         return self._address
 
     def serve(self) -> DistributedSuiteResult:
-        """Serve shards until the plan completes; return the merged result.
+        """Serve runs until the plan completes; return the merged result.
 
         On every exit path (merged result, timeout, abort) the coordinator
         drains this process's pooled cache connections: a long-lived driver
@@ -249,7 +550,12 @@ class Coordinator:
                 drain_connection_pool()
 
     def _serve(self) -> DistributedSuiteResult:
-        state = _CoordinatorState(self.plan, max_shard_attempts=self.max_shard_attempts)
+        state = _CoordinatorState(
+            self.job,
+            self.plan,
+            max_shard_attempts=self.max_shard_attempts,
+            steal=self.steal,
+        )
         started = time.monotonic()
         deadline = None if self.timeout is None else started + self.timeout
         with Listener((self.host, self.port), authkey=self.authkey) as listener:
@@ -262,10 +568,15 @@ class Coordinator:
             ).start()
             while not state.finished.is_set():
                 if deadline is not None and time.monotonic() >= deadline:
-                    raise TimeoutError(
+                    reason = (
                         f"distributed run timed out after {self.timeout:.0f}s "
                         f"({state.snapshot()})"
                     )
+                    # Flip the abort flag *before* raising: the handler
+                    # threads outlive the accept loop and answer connected
+                    # agents with the abort so they shut down cleanly.
+                    state.abort(reason)
+                    raise TimeoutError(reason)
                 try:
                     connection = listener.accept()
                 except Exception:
@@ -279,15 +590,22 @@ class Coordinator:
                 f"(re-queue log: {state.requeues})"
             )
         elapsed = time.monotonic() - started
-        cases = merge_shard_results(self.plan, state.results)
-        perf_reports = [sr.perf for sr in state.results.values() if sr.perf is not None]
+        cases = merge_case_results(self.plan, state.case_results)
+        perf_reports = [
+            result.perf
+            for result in state.case_results.values()
+            if getattr(result, "perf", None) is not None
+        ]
         return DistributedSuiteResult(
             plan=self.plan,
             cases=cases,
             perf=PerfReport.merged(perf_reports, elapsed=elapsed) if perf_reports else None,
             hosts=list(state.hosts),
-            shard_hosts=dict(state.shard_hosts),
+            shard_hosts=_majority_shard_hosts(self.plan, state.case_hosts),
+            case_hosts=dict(state.case_hosts),
             requeues=list(state.requeues),
+            steals=list(state.steals),
+            adoptions=list(state.adoptions),
             elapsed=elapsed,
         )
 
@@ -322,12 +640,35 @@ class Coordinator:
         return self._result
 
 
+def _majority_shard_hosts(
+    plan: ShardPlan, case_hosts: "dict[tuple[str, int], str]"
+) -> "dict[int, str]":
+    """Attribute each plan shard to the host that completed most of its runs.
+
+    With stealing a shard's runs may have executed on several hosts;
+    ``case_hosts`` is the exact record, this is the telemetry summary
+    (deterministic: counts, then lexicographically lowest host on ties).
+    """
+    owners: "dict[int, str]" = {}
+    for shard in plan.shards:
+        counts: "dict[str, int]" = {}
+        for run in shard.runs:
+            host = case_hosts.get((run.name, run.replica))
+            if host is not None:
+                counts[host] = counts.get(host, 0) + 1
+        if counts:
+            owners[shard.index] = max(sorted(counts), key=lambda host: counts[host])
+    return owners
+
+
 def _emit_bench(result: DistributedSuiteResult, path: str) -> None:
     """Write a pytest-benchmark-shaped json for ``check_regression.py``.
 
     One entry per case (mean = merged replica wall-clock) plus a
     ``distrib_suite_total`` aggregate whose ``extra_info`` carries the
-    cross-host cache counters the CI gate reads (``--require-remote-hits``).
+    cross-host cache counters and fleet-elasticity counters the CI gates
+    read (``--require-remote-hits``, ``--require-steals``,
+    ``--require-zero-lost``).
     """
     perf = result.perf
     benchmarks = [
@@ -354,6 +695,15 @@ def _emit_bench(result: DistributedSuiteResult, path: str) -> None:
                 "cache_unreachable_servers": perf.cache_unreachable_servers if perf else 0,
                 "hosts": len(result.hosts),
                 "requeues": len(result.requeues),
+                # Elasticity counters: steals > 0 proves the tail of a slow
+                # host was re-balanced; cases_lost must be 0 — the merge
+                # refuses to produce a result with missing runs, so this is
+                # the "no silently dropped work" gate (--require-steals,
+                # --require-zero-lost).
+                "steals": len(result.steals),
+                "adoptions": len(result.adoptions),
+                "cases_total": result.plan.num_runs,
+                "cases_lost": result.plan.num_runs - len(result.case_hosts),
             },
         }
     )
@@ -393,6 +743,17 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--resynthesis-probability", type=float, default=0.015)
     parser.add_argument("--synthesis-time-budget", type=float, default=0.5)
     parser.add_argument("--no-resynthesis", action="store_true")
+    parser.add_argument(
+        "--cross-exchange",
+        action="store_true",
+        help="exchange incumbents across hosts mid-search (couples host "
+        "trajectories; leave off for bit-reproducible runs)",
+    )
+    parser.add_argument(
+        "--no-steal",
+        action="store_true",
+        help="disable elastic work stealing (strict shard ownership)",
+    )
     parser.add_argument(
         "--cache",
         default=None,
@@ -435,6 +796,7 @@ def main(argv: "list[str] | None" = None) -> int:
         synthesis_time_budget=args.synthesis_time_budget,
         resynthesis_probability=args.resynthesis_probability,
         share_resynthesis_cache=cache_spec,
+        cross_host_exchange=args.cross_exchange,
     )
     if args.cases:
         case_names = [name.strip() for name in args.cases.split(",") if name.strip()]
@@ -452,6 +814,7 @@ def main(argv: "list[str] | None" = None) -> int:
         port=args.port,
         authkey=args.authkey.encode() if args.authkey else None,
         timeout=args.timeout,
+        steal=not args.no_steal,
     )
     print(f"[coordinator] plan: {plan.describe()}")
     address = coordinator.start()
@@ -461,6 +824,10 @@ def main(argv: "list[str] | None" = None) -> int:
     print(f"[coordinator] hosts: {', '.join(result.hosts) or 'none'}")
     for event in result.requeues:
         print(f"[coordinator] {event}")
+    for event in result.steals:
+        print(f"[coordinator] steal: {event}")
+    for event in result.adoptions:
+        print(f"[coordinator] adoption: {event}")
     for case in result.cases:
         merged = case.merged
         print(

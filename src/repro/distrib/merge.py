@@ -66,10 +66,18 @@ class DistributedSuiteResult:
     perf: "PerfReport | None" = None
     #: hosts that registered, in registration order (telemetry, not merged state)
     hosts: "list[str]" = field(default_factory=list)
-    #: which host completed each shard (telemetry)
+    #: which host completed the majority of each plan shard (telemetry; with
+    #: work stealing a shard's runs may have been split across hosts — see
+    #: ``case_hosts`` for the exact per-run attribution)
     shard_hosts: "dict[int, str]" = field(default_factory=dict)
+    #: which host completed each ``(case, replica)`` run (telemetry)
+    case_hosts: "dict[tuple[str, int], str]" = field(default_factory=dict)
     #: human-readable re-queue events (host losses, reported errors)
     requeues: "list[str]" = field(default_factory=list)
+    #: human-readable steal events (idle host took the tail of a busy one)
+    steals: "list[str]" = field(default_factory=list)
+    #: human-readable cross-host incumbent adoption events (exchange on)
+    adoptions: "list[str]" = field(default_factory=list)
     elapsed: float = 0.0
 
     @property
@@ -106,7 +114,13 @@ class DistributedSuiteResult:
             "plan": self.plan.describe(),
             "hosts": list(self.hosts),
             "shard_hosts": {str(index): host for index, host in sorted(self.shard_hosts.items())},
+            "case_hosts": {
+                f"{name}#r{replica}": host
+                for (name, replica), host in sorted(self.case_hosts.items())
+            },
             "requeues": list(self.requeues),
+            "steals": list(self.steals),
+            "adoptions": list(self.adoptions),
             "elapsed": self.elapsed,
             "total_iterations": self.total_iterations,
             "cache_remote_hits": self.cache_remote_hits,
@@ -218,13 +232,44 @@ def merge_portfolio_results(results: "list[PortfolioResult]") -> PortfolioResult
     )
 
 
+def merge_case_results(
+    plan: ShardPlan, by_run: "dict[tuple[str, int], PortfolioResult]"
+) -> "list[CaseOutcome]":
+    """Assemble per-case outcomes from per-run results, in plan order.
+
+    ``by_run`` maps ``(case name, replica)`` to that run's result — the
+    coordinator's case-granular ledger, which is shard-agnostic by
+    construction: a run reports the same result no matter which host
+    executed it or whether its shard's tail was stolen mid-run.  Raises if
+    any planned run is missing.
+    """
+    missing = [
+        (run.name, run.replica)
+        for shard in plan.shards
+        for run in shard.runs
+        if (run.name, run.replica) not in by_run
+    ]
+    if missing:
+        labels = ", ".join(f"{name}#r{replica}" for name, replica in missing)
+        raise ValueError(f"plan runs have no result: {labels}")
+    outcomes: "list[CaseOutcome]" = []
+    for name in plan.case_names:
+        replicas = [by_run[(name, replica)] for replica in range(plan.replicas)]
+        outcomes.append(
+            CaseOutcome(name=name, replicas=replicas, merged=merge_portfolio_results(replicas))
+        )
+    return outcomes
+
+
 def merge_shard_results(
     plan: ShardPlan, shard_results: "dict[int, ShardResult]"
 ) -> "list[CaseOutcome]":
     """Assemble per-case outcomes from completed shards, in plan order.
 
-    Raises if any planned run is missing — the coordinator only merges once
-    every shard has reported (re-queued shards included).
+    The whole-shard form of :func:`merge_case_results`, used by the
+    single-host baseline (:func:`repro.distrib.worker.run_local`) and any
+    driver that still collects one :class:`ShardResult` per shard.  Raises
+    if any planned run is missing.
     """
     by_run: "dict[tuple[str, int], PortfolioResult]" = {}
     for shard in plan.shards:
@@ -239,13 +284,7 @@ def merge_shard_results(
                     f"shard {shard.index} result is missing run {run.name}#r{run.replica}"
                 )
             by_run[key] = reported[key]
-    outcomes: "list[CaseOutcome]" = []
-    for name in plan.case_names:
-        replicas = [by_run[(name, replica)] for replica in range(plan.replicas)]
-        outcomes.append(
-            CaseOutcome(name=name, replicas=replicas, merged=merge_portfolio_results(replicas))
-        )
-    return outcomes
+    return merge_case_results(plan, by_run)
 
 
 __all__ = [
@@ -253,6 +292,7 @@ __all__ = [
     "DistributedSuiteResult",
     "ShardResult",
     "circuit_fingerprint",
+    "merge_case_results",
     "merge_portfolio_results",
     "merge_shard_results",
     "result_fingerprint",

@@ -158,6 +158,15 @@ class DistributedJob:
     outcomes depend on sibling progress: keep it off (None) when the run
     must be bit-reproducible, on when wall-clock matters (see
     ``docs/distributed.md``).
+
+    ``cross_host_exchange`` extends the in-machine incumbent exchange across
+    hosts: agents periodically publish their best ``(cost, error bound,
+    circuit)`` per case to the coordinator, and replicas of the same case on
+    *other* hosts may adopt the global best mid-search — under the same
+    invariants as the in-machine protocol (replica 0 is the anchor and never
+    adopts; bounds travel with incumbents, so adopted state keeps Theorem
+    4.2 sound).  Like cache sharing, it couples trajectories across hosts:
+    keep it off when the run must be bit-reproducible.
     """
 
     suite: str = "ftqc"
@@ -176,6 +185,9 @@ class DistributedJob:
     synthesis_time_budget: float = 0.5
     resynthesis_probability: float = 0.015
     share_resynthesis_cache: "str | None" = None
+    #: exchange incumbents across hosts (replicas of one case adopt the
+    #: global best mid-search; anchor replica 0 never adopts)
+    cross_host_exchange: bool = False
     #: ``(case name, circuit)`` pairs for ``suite="inline"`` jobs — the
     #: circuits travel with the job instead of being rebuilt on the host
     inline_circuits: "tuple[tuple[str, object], ...] | None" = None

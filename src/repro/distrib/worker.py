@@ -1,16 +1,23 @@
-"""Host agent: executes shards for a coordinator on this machine.
+"""Host agent: executes case runs for a coordinator on this machine.
 
 ``python -m repro.distrib.worker --connect HOST:PORT`` connects to a
-coordinator (:mod:`repro.distrib.coordinator`), pulls shards, runs every
+coordinator (:mod:`repro.distrib.coordinator`), pulls *assignments* (case
+batches — initially plan shards, possibly a stolen tail of one), runs every
 :class:`~repro.distrib.plan.CaseRun` through a local
 :class:`~repro.parallel.PortfolioOptimizer` (rebuilding circuits from the
 suite generators — work units travel as names and seeds, not pickled
-circuits), and reports one :class:`~repro.distrib.merge.ShardResult` — with
-a per-shard merged :class:`~repro.perf.PerfReport` — per shard.
+circuits), and reports each run back as a ``case-result`` the moment it
+finishes.  Runs are driven through the resumable
+:meth:`~repro.parallel.portfolio.PortfolioRun.step_round` engine, so
+between exchange rounds the agent can heartbeat the coordinator: publish
+its best incumbent (when ``job.cross_host_exchange``), learn which of its
+queued runs were revoked (finished elsewhere or stolen), and adopt a
+strictly better global incumbent — never on replica 0, which anchors the
+case exactly like worker 0 anchors a portfolio.
 
-Agents are stateless pull-workers: the job spec travels with each shard, a
-lost agent is simply a re-queued shard, and between runs the agent drains
-its pooled cache connections
+Agents are stateless pull-workers: the job spec travels with each
+assignment, a lost agent forfeits only its unfinished runs, and between
+runs the agent drains its pooled cache connections
 (:func:`repro.perf.shared_cache.drain_connection_pool`) so a long-lived
 agent never leaks sockets across the many portfolio runs it hosts.
 
@@ -33,6 +40,10 @@ from repro.perf.report import PerfReport
 #: a handshake (multiprocessing HMAC), not a security boundary — override
 #: with ``REPRO_DISTRIB_AUTHKEY`` to isolate concurrent clusters
 DEFAULT_DISTRIB_AUTHKEY = b"repro-distrib"
+
+
+class _RunAborted(Exception):
+    """The coordinator declared the run dead (timeout / attempt-cap abort)."""
 
 
 def distrib_authkey() -> bytes:
@@ -103,6 +114,7 @@ def case_optimizer(
     from repro.core.instantiate import default_objective, default_transformations
     from repro.gatesets.base import get_gate_set
     from repro.parallel.portfolio import PortfolioConfig, PortfolioOptimizer
+    from repro.perf.cache import ResynthesisCache
 
     if share_resynthesis_cache is None:
         share_resynthesis_cache = job.share_resynthesis_cache
@@ -115,9 +127,13 @@ def case_optimizer(
         include_resynthesis=job.include_resynthesis,
         synthesis_time_budget=job.synthesis_time_budget,
         rng=seed,
-        # The portfolio attaches the (possibly tcp-shared) cache itself;
-        # a second private cache here would only shadow it.
-        resynthesis_cache=None if share_resynthesis_cache else True,
+        # When a shared cache is configured the portfolio attaches it
+        # itself; a second private cache here would only shadow it.
+        # Otherwise each case gets a private memo instance — deliberately
+        # *not* the "local:" shared spec, which would pierce the portfolio's
+        # per-worker deepcopy, couple sibling trajectories, and break
+        # backend-blind determinism.
+        resynthesis_cache=None if share_resynthesis_cache else ResynthesisCache(maxsize=512),
     )
     config = PortfolioConfig(
         search=GuoqConfig(
@@ -144,7 +160,8 @@ def run_case(job: DistributedJob, run: CaseRun, circuit) -> "object":
 
     Builds a fresh transformation set seeded from the run's derived seed and
     drives a local portfolio; the result is deterministic in ``run.seed``
-    when iteration-bounded and no cross-host cache is configured.
+    when iteration-bounded and no cross-host cache (or cross-host exchange)
+    couples trajectories.
     """
     return case_optimizer(job, run.seed).optimize(circuit)
 
@@ -173,7 +190,8 @@ def run_local(job: DistributedJob, plan: ShardPlan, host: str = "local") -> Dist
 
     Uses the identical per-run execution path as a cluster of agents, so
     its merged result (and fingerprint) is what any multi-host run of the
-    same plan must reproduce.
+    same plan must reproduce (with exchange off — cross-host exchange
+    deliberately couples trajectories and has no single-host equivalent).
     """
     started = time.monotonic()
     shard_results = {
@@ -188,6 +206,11 @@ def run_local(job: DistributedJob, plan: ShardPlan, host: str = "local") -> Dist
         perf=PerfReport.merged(perf_reports, elapsed=elapsed) if perf_reports else None,
         hosts=[host],
         shard_hosts={shard.index: host for shard in plan.shards},
+        case_hosts={
+            (run.name, run.replica): host
+            for shard in plan.shards
+            for run in shard.runs
+        },
         elapsed=elapsed,
     )
 
@@ -197,13 +220,23 @@ class HostAgent:
 
     Pull protocol over ``multiprocessing.connection`` (length-prefixed
     pickle frames): ``hello`` registers, ``next`` requests work, the
-    coordinator answers ``shard`` / ``wait`` / ``done``, and each finished
-    shard is posted back as ``result``.  A shard that raises locally is
-    reported as ``error`` so the coordinator can re-queue it elsewhere
-    instead of waiting forever.
+    coordinator answers ``assign`` / ``wait`` / ``done`` / ``abort``.  Each
+    assignment is a batch of :class:`~repro.distrib.plan.CaseRun`\\ s the
+    agent executes in order, posting a ``case-result`` per finished run and
+    a ``progress`` heartbeat between exchange rounds while a run is live.
+    Every reply to a post carries an *update*: runs revoked from this host
+    (finished elsewhere, or stolen while this host was busy) and — with
+    ``job.cross_host_exchange`` — any strictly better global incumbent for
+    the posting run's case.  A run that raises locally is reported as
+    ``case-error`` so the coordinator can re-queue just that run elsewhere;
+    the agent carries on with the rest of its batch.  An ``abort`` reply at
+    any point (coordinator timeout or attempt-cap abort) makes the agent
+    exit cleanly with the reason recorded in ``abort_reason``.
 
-    ``shard_delay`` inserts a sleep before executing each shard — a testing
-    hook that makes "kill the agent mid-shard" scenarios deterministic.
+    ``shard_delay`` inserts a sleep before executing each assignment, and
+    ``case_delay`` before each case — testing hooks that make "kill the
+    agent mid-case" and "straggler host gets its tail stolen" scenarios
+    deterministic.
     """
 
     def __init__(
@@ -214,6 +247,7 @@ class HostAgent:
         connect_timeout: float = 30.0,
         poll_interval: float = 0.2,
         shard_delay: float = 0.0,
+        case_delay: float = 0.0,
         drain_pool: bool = True,
     ) -> None:
         self.address = (str(address[0]), int(address[1]))
@@ -227,12 +261,17 @@ class HostAgent:
         self.connect_timeout = connect_timeout
         self.poll_interval = poll_interval
         self.shard_delay = shard_delay
+        self.case_delay = case_delay
         # The connection pool is process-wide.  A dedicated agent process
         # drains it between runs so dead servers' sockets don't pile up; an
         # agent running as a *thread* of a larger program (the serve layer's
         # in-process offload) must not — the pool also carries its
         # neighbours' live connections.
         self.drain_pool = drain_pool
+        #: why the coordinator told this agent to stop (None = normal exit)
+        self.abort_reason: "str | None" = None
+        #: cross-host incumbents this agent adopted (telemetry)
+        self.adopted = 0
 
     def _connect(self):
         from multiprocessing.connection import Client
@@ -246,8 +285,129 @@ class HostAgent:
                     raise
                 time.sleep(min(self.poll_interval, 0.5))
 
+    def _post(self, connection, message) -> dict:
+        """Send one report/heartbeat; return the coordinator's update.
+
+        Raises :class:`_RunAborted` on an ``abort`` reply so the whole
+        assignment unwinds promptly, and lets connection errors propagate —
+        the run loop treats a vanished coordinator as a finished run.
+        """
+        connection.send(message)
+        op, payload = connection.recv()
+        if op == "abort":
+            raise _RunAborted(str(payload))
+        if op != "ok":
+            raise RuntimeError(f"unexpected coordinator reply {op!r}")
+        return payload or {}
+
+    def _execute_assignment(self, connection, assignment_id: int, runs, job) -> int:
+        """Run one assignment's cases in order; return how many completed here.
+
+        ``revoked`` accumulates runs the coordinator has reassigned (stolen
+        by an idle host) or seen finish elsewhere — they are skipped, which
+        is what makes stealing and duplicate re-queues race-free: whoever
+        reports first wins, everyone else drops the run on their next
+        heartbeat.
+        """
+        if self.shard_delay:
+            time.sleep(self.shard_delay)
+        names: "list[str]" = []
+        for run in runs:
+            if run.name not in names:
+                names.append(run.name)
+        circuits = build_cases(job, names)
+        exchange = bool(getattr(job, "cross_host_exchange", False))
+        revoked: "set[tuple[str, int]]" = set()
+        adopted_notes: "list[str]" = []
+        completed = 0
+        for run in runs:
+            key = (run.name, run.replica)
+            if key in revoked:
+                continue
+            if self.case_delay:
+                time.sleep(self.case_delay)
+            try:
+                portfolio_run = case_optimizer(job, run.seed).start(circuits[run.name])
+            except (_RunAborted, EOFError, OSError, ConnectionError):
+                raise
+            except Exception as error:  # noqa: BLE001 - reported for re-queue
+                update = self._post(
+                    connection,
+                    (
+                        "case-error",
+                        (assignment_id, key, _failure_message(error)),
+                    ),
+                )
+                revoked.update(tuple(k) for k in update.get("revoked", ()))
+                # Breathe before the next case: a deterministic failure
+                # would otherwise spin at full CPU until the cap trips.
+                time.sleep(self.poll_interval)
+                continue
+            try:
+                try:
+                    published_cost: "float | None" = None
+                    while portfolio_run.step_round():
+                        if not exchange:
+                            continue
+                        # Publish the circuit only when our own best
+                        # improved since the last heartbeat; cost/bound
+                        # always travel so the coordinator can answer with
+                        # anything strictly better.
+                        improved = (
+                            published_cost is None
+                            or portfolio_run.incumbent_cost < published_cost
+                        )
+                        publish = (
+                            run.name,
+                            run.replica,
+                            portfolio_run.incumbent_cost,
+                            portfolio_run.incumbent_error,
+                            portfolio_run.incumbent_circuit if improved else None,
+                        )
+                        if improved:
+                            published_cost = portfolio_run.incumbent_cost
+                        update = self._post(
+                            connection,
+                            ("progress", (assignment_id, [publish], adopted_notes)),
+                        )
+                        adopted_notes = []
+                        revoked.update(tuple(k) for k in update.get("revoked", ()))
+                        incumbent = update.get("incumbents", {}).get(run.name)
+                        # Replica 0 anchors the case across the cluster the
+                        # way worker 0 anchors a portfolio: it never adopts,
+                        # so one unperturbed trajectory always survives and
+                        # the merged case is provably >= the solo run.
+                        if incumbent is not None and run.replica != 0:
+                            cost, error, circuit = incumbent
+                            if portfolio_run.adopt_incumbent(circuit, error=error):
+                                self.adopted += 1
+                                adopted_notes.append(
+                                    f"{self.name} adopted incumbent for "
+                                    f"{run.name}#r{run.replica} "
+                                    f"(cost {cost:g}, error bound {error:.3g})"
+                                )
+                    result = portfolio_run.result()
+                finally:
+                    portfolio_run.close()
+            except (_RunAborted, EOFError, OSError, ConnectionError):
+                raise
+            except Exception as error:  # noqa: BLE001 - reported for re-queue
+                update = self._post(
+                    connection,
+                    ("case-error", (assignment_id, key, _failure_message(error))),
+                )
+                revoked.update(tuple(k) for k in update.get("revoked", ()))
+                time.sleep(self.poll_interval)
+                continue
+            update = self._post(
+                connection, ("case-result", (assignment_id, key, result))
+            )
+            completed += 1
+            revoked.update(tuple(k) for k in update.get("revoked", ()))
+        return completed
+
     def run(self) -> int:
-        """Serve shards until the coordinator says ``done``; returns count served."""
+        """Serve assignments until ``done``/``abort``; returns runs completed."""
         from repro.perf.shared_cache import drain_connection_pool
 
         completed = 0
@@ -263,47 +423,35 @@ class HostAgent:
                     break  # coordinator finished and closed the listener
                 if op == "done":
                     break
+                if op == "abort":
+                    self.abort_reason = str(payload)
+                    print(
+                        f"[{self.name}] coordinator aborted the run: {payload}",
+                        flush=True,
+                    )
+                    break
                 if op == "wait":
                     time.sleep(float(payload) if payload else self.poll_interval)
                     continue
-                if op != "shard":
+                if op != "assign":
                     raise RuntimeError(f"unexpected coordinator reply {op!r}")
-                shard, job = payload
-                if self.shard_delay:
-                    time.sleep(self.shard_delay)
-                failed = False
+                assignment_id, runs, job = payload
                 try:
-                    shard_result = execute_shard(job, shard, host=self.name)
-                except Exception as error:  # noqa: BLE001 - reported for re-queue
-                    # Ship the full traceback, not just repr(error): the
-                    # coordinator's re-queue log (and the abort message when
-                    # the attempt cap trips) is where an operator debugs a
-                    # deterministic shard failure, and a bare repr loses the
-                    # failing frame.
-                    failed = True
-                    report = (
-                        "error",
-                        (shard.index, f"{error!r}\n{traceback.format_exc().rstrip()}"),
+                    completed += self._execute_assignment(
+                        connection, assignment_id, runs, job
                     )
-                else:
-                    report = ("result", (shard.index, shard_result))
-                    completed += 1
-                try:
-                    connection.send(report)
-                    connection.recv()  # ok
-                except (EOFError, OSError, ConnectionError):
-                    # The run finished without us (e.g. our shard was
-                    # re-queued and a twin won); nothing left to report to —
-                    # and no reason to linger in a throttle sleep either.
+                except _RunAborted as aborted:
+                    self.abort_reason = str(aborted)
+                    print(
+                        f"[{self.name}] coordinator aborted the run: {aborted}",
+                        flush=True,
+                    )
                     break
-                if failed:
-                    # Breathe before asking for more work: if the failure is
-                    # deterministic, the coordinator may hand the shard right
-                    # back, and an unthrottled loop would spin at full CPU
-                    # until its attempt cap trips.  Only after a *delivered*
-                    # report — when the coordinator is already gone, the
-                    # break above shuts the agent down promptly instead.
-                    time.sleep(self.poll_interval)
+                except (EOFError, OSError, ConnectionError):
+                    # The run finished without us (e.g. our runs were
+                    # revoked and the listener closed); nothing left to
+                    # report to.
+                    break
         finally:
             try:
                 connection.close()
@@ -316,12 +464,21 @@ class HostAgent:
         return completed
 
 
+def _failure_message(error: BaseException) -> str:
+    """Ship the full traceback, not just ``repr(error)``: the coordinator's
+    re-queue log (and the abort message when the attempt cap trips) is where
+    an operator debugs a deterministic failure, and a bare repr loses the
+    failing frame."""
+    return f"{error!r}\n{traceback.format_exc().rstrip()}"
+
+
 def run_host_agent(
     address: "tuple[str, int]",
     authkey: "bytes | None" = None,
     name: "str | None" = None,
     connect_timeout: float = 30.0,
     shard_delay: float = 0.0,
+    case_delay: float = 0.0,
     drain_pool: bool = True,
 ) -> int:
     """Module-level agent entry point (spawn-safe ``Process`` target)."""
@@ -331,6 +488,7 @@ def run_host_agent(
         name=name,
         connect_timeout=connect_timeout,
         shard_delay=shard_delay,
+        case_delay=case_delay,
         drain_pool=drain_pool,
     )
     return agent.run()
@@ -339,7 +497,7 @@ def run_host_agent(
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.distrib.worker",
-        description="Host agent: pull and execute shards from a repro.distrib coordinator.",
+        description="Host agent: pull and execute case runs from a repro.distrib coordinator.",
     )
     parser.add_argument(
         "--connect",
@@ -360,6 +518,13 @@ def main(argv: "list[str] | None" = None) -> int:
         metavar="SECONDS",
         help="keep retrying the initial connection this long (agents may start first)",
     )
+    parser.add_argument(
+        "--case-delay",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep before each case (straggler simulation for smoke tests)",
+    )
     args = parser.parse_args(argv)
     host, _, port = args.connect.rpartition(":")
     if not host:
@@ -369,9 +534,10 @@ def main(argv: "list[str] | None" = None) -> int:
         authkey=args.authkey.encode() if args.authkey else None,
         name=args.name,
         connect_timeout=args.retry,
+        case_delay=args.case_delay,
     )
     completed = agent.run()
-    print(f"[{agent.name}] served {completed} shard(s)")
+    print(f"[{agent.name}] served {completed} case run(s)")
     return 0
 
 

@@ -414,6 +414,44 @@ class PortfolioRun:
         self.elapsed += time.monotonic() - started
         return not self.done
 
+    def adopt_incumbent(self, circuit: Circuit, error: float = 0.0) -> bool:
+        """Adopt an externally supplied incumbent (cross-host exchange).
+
+        The distributed analogue of the in-round exchange: a coordinator
+        relays the global best circuit for this run's case, and this run
+        takes it as its portfolio incumbent *iff* it is a strict improvement
+        under **this run's own objective** — the same objective firewall the
+        in-machine merge applies, so a surrogate-cost sibling (or a host
+        ranking under a different objective) can never degrade this run.
+
+        ``error`` must be the incumbent's accumulated epsilon on the host
+        that produced it; it replaces this run's ``incumbent_error``, so the
+        soundness invariant (the bound travels with the circuit it bounds,
+        Theorem 4.2) holds across machines exactly as it does across
+        workers.  Behind workers restart from the adopted state at the next
+        ``step_round()`` exchange; the anchor worker 0 is never injected, so
+        adoption cannot perturb the portfolio >= solo guarantee.
+
+        Returns True when adopted.  Callers enforce the *replica*-level
+        anchor rule (replica 0 of a case never adopts) — this method only
+        guards cost and bound consistency.
+        """
+        if self._closed:
+            return False
+        cost = self.cost(circuit)
+        if cost >= self.incumbent_cost:
+            return False
+        self.incumbent_circuit = circuit
+        self.incumbent_cost = cost
+        self.incumbent_error = float(error)
+        #: an adopted incumbent came from no local worker
+        self.best_worker = None
+        if self.config.search.track_history:
+            self.history.append(
+                _history_point(self.elapsed, self.total_iterations, cost, circuit)
+            )
+        return True
+
     def result(self) -> PortfolioResult:
         """Merge the current state into a :class:`PortfolioResult` (anytime)."""
         config = self.config

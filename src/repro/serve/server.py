@@ -251,6 +251,8 @@ class JobServer:
         # Hand-built plan: one shard per job, each carrying the job's own
         # seed verbatim (make_shard_plan would re-derive seeds from a root,
         # which must not happen — the client's seed is part of the contract).
+        # Single-run shards also mean elastic stealing has no tail to split:
+        # offload load-balances purely by hosts pulling one job at a time.
         plan = ShardPlan(
             root_seed=None,
             replicas=1,

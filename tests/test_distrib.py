@@ -27,9 +27,10 @@ from repro.distrib import (
     run_local,
     start_tcp_cache_server,
 )
-from repro.distrib.worker import build_cases, execute_shard
+from repro.distrib.worker import build_cases, case_optimizer, distrib_authkey, execute_shard
 from repro.suite.suite import select_cases
 from repro.suite import ftqc_suite
+from repro.utils.linalg import hilbert_schmidt_distance
 
 CASES = ["ghz_5", "bv_5"]
 
@@ -48,9 +49,9 @@ def fast_job(**overrides) -> DistributedJob:
     return DistributedJob(**settings)
 
 
-def run_distributed(job, plan, hosts, delays=None, timeout=180.0):
+def run_distributed(job, plan, hosts, delays=None, case_delays=None, steal=True, timeout=180.0):
     """Drive a coordinator with ``hosts`` agent subprocesses; return the result."""
-    coordinator = Coordinator(job, plan, timeout=timeout)
+    coordinator = Coordinator(job, plan, timeout=timeout, steal=steal)
     address = coordinator.start()
     context = multiprocessing.get_context()
     agents = [
@@ -60,6 +61,7 @@ def run_distributed(job, plan, hosts, delays=None, timeout=180.0):
             kwargs={
                 "name": f"host-{index}",
                 "shard_delay": (delays or {}).get(index, 0.0),
+                "case_delay": (case_delays or {}).get(index, 0.0),
             },
         )
         for index in range(hosts)
@@ -275,6 +277,189 @@ class TestDistributedDeterminism:
         assert result.fingerprint() == local.fingerprint()
 
 
+class TestCaseGranularFaultTolerance:
+    """A lost host forfeits only its unfinished runs — completed work survives."""
+
+    def test_lost_host_keeps_completed_cases(self):
+        from multiprocessing.connection import Client
+
+        job = fast_job()
+        # One batch holding all four runs, so the victim dies holding three.
+        plan = make_shard_plan(CASES, num_shards=1, root_seed=7, replicas=2)
+        local = run_local(job, plan)
+        coordinator = Coordinator(job, plan, timeout=120.0)
+        address = coordinator.start()
+        # Drive the wire protocol by hand: complete exactly one run as
+        # "victim", then drop the connection — deterministic, no timing.
+        connection = Client(address, authkey=distrib_authkey())
+        connection.send(("hello", "victim"))
+        connection.recv()
+        connection.send(("next", None))
+        op, (assignment_id, runs, wire_job) = connection.recv()
+        assert op == "assign" and len(runs) == plan.num_runs
+        first = runs[0]
+        circuits = build_cases(wire_job, [first.name])
+        first_result = case_optimizer(wire_job, first.seed).optimize(circuits[first.name])
+        connection.send(
+            ("case-result", (assignment_id, (first.name, first.replica), first_result))
+        )
+        op, _update = connection.recv()
+        assert op == "ok"
+        connection.close()  # the host "crashes" holding three unfinished runs
+
+        survivor = multiprocessing.get_context().Process(
+            target=run_host_agent, args=(address,), kwargs={"name": "survivor"}
+        )
+        survivor.start()
+        try:
+            result = coordinator.join(timeout=150.0)
+        finally:
+            survivor.join(timeout=30.0)
+            if survivor.is_alive():  # pragma: no cover - hung agent cleanup
+                survivor.terminate()
+        # The completed run is credited to the dead host, never re-run ...
+        assert result.case_hosts[(first.name, first.replica)] == "victim"
+        # ... and the re-queue covers exactly the three unfinished runs.
+        assert len(result.requeues) == 1
+        assert "victim" in result.requeues[0]
+        assert f"{first.name}#r{first.replica}" not in result.requeues[0]
+        for run in runs[1:]:
+            assert f"{run.name}#r{run.replica}" in result.requeues[0]
+            assert result.case_hosts[(run.name, run.replica)] == "survivor"
+        assert result.fingerprint() == local.fingerprint()
+
+
+class TestElasticStealing:
+    """An idle host takes the tail of the largest outstanding batch."""
+
+    @pytest.fixture(scope="class")
+    def two_shard_setup(self):
+        job = fast_job()
+        plan = make_shard_plan(CASES, num_shards=2, root_seed=7, replicas=2)
+        return job, plan, run_local(job, plan)
+
+    def test_straggler_tail_is_stolen_and_nothing_is_lost(self, two_shard_setup):
+        job, plan, local = two_shard_setup
+        # host-1 sleeps 4s before each case: host-0 clears its own 2-run
+        # shard in well under that and goes idle, so the coordinator splits
+        # the straggler's batch instead of letting it set the wall-clock.
+        # host-0's 1s pre-assignment sleep keeps the scenario honest under
+        # slow process startup: host-1 always registers and takes its shard
+        # before host-0 could drain the queue by itself.
+        result = run_distributed(
+            job, plan, hosts=2, delays={0: 1.0}, case_delays={1: 4.0}
+        )
+        assert result.steals, "the idle host must steal the straggler's tail"
+        assert "host-0 stole" in result.steals[0]
+        # Zero lost and zero re-run cases: every planned run completed
+        # exactly once, with no re-queues.
+        assert result.requeues == []
+        assert len(result.case_hosts) == plan.num_runs
+        # Stolen runs are re-seeded from the plan, so the merged outcome is
+        # bit-identical to the single-host baseline.
+        assert result.fingerprint() == local.fingerprint()
+        # The stolen run really did execute on the thief.
+        stolen_keys = [
+            (run.name, run.replica)
+            for shard in plan.shards[1:]
+            for run in shard.runs
+        ]
+        assert any(result.case_hosts[key] == "host-0" for key in stolen_keys)
+
+    def test_steal_disabled_keeps_strict_shard_ownership(self, two_shard_setup):
+        job, plan, local = two_shard_setup
+        result = run_distributed(job, plan, hosts=2, case_delays={1: 2.0}, steal=False)
+        assert result.steals == []
+        assert result.requeues == []
+        assert result.fingerprint() == local.fingerprint()
+        # Strict ownership: a shard's runs are never split across hosts.
+        # (Which host gets which shard is a pull race — not asserted.)
+        for shard in plan.shards:
+            owners = {result.case_hosts[(run.name, run.replica)] for run in shard.runs}
+            assert len(owners) == 1
+
+
+class TestCrossHostExchange:
+    """Exchange-on runs: adoption happens and stays sound."""
+
+    def test_adopted_incumbent_bound_is_true_accumulated_error(self):
+        # tof_4/grover_3 descend over many rounds, so a replica that starts
+        # 2s late is still mid-descent when its sibling's final incumbent
+        # reaches the board — a real adoption, not a no-op.
+        job = fast_job(
+            max_iterations=60, exchange_interval=5, cross_host_exchange=True
+        )
+        plan = make_shard_plan(
+            ["tof_4", "grover_3"], num_shards=2, root_seed=11, replicas=2
+        )
+        result = run_distributed(job, plan, hosts=2, case_delays={1: 2.0}, steal=False)
+        assert result.adoptions, "the late replica must adopt the global best"
+        assert any("adopted incumbent" in note for note in result.adoptions)
+        # Soundness: the job is rewrites-only, so every transformation is
+        # exact and the true accumulated error of any incumbent is 0.  The
+        # adopted bound must say exactly that — and the merged circuit must
+        # really be unitarily exact, so the bound *equals* the true error
+        # rather than merely bounding it.
+        circuits = build_cases(job, list(plan.case_names))
+        for case in result.cases:
+            assert case.merged.error_bound == 0.0
+            assert case.merged.error_bound <= job.epsilon_budget
+            distance = hilbert_schmidt_distance(
+                case.merged.best_circuit.unitary(), circuits[case.name].unitary()
+            )
+            assert distance < 1e-6  # float32 unitaries: exact up to roundoff
+
+    def test_exchange_off_sends_no_progress_and_stays_bit_identical(self):
+        job = fast_job()
+        plan = make_shard_plan(CASES, num_shards=2, root_seed=7, replicas=2)
+        local = run_local(job, plan)
+        result = run_distributed(job, plan, hosts=2)
+        assert result.adoptions == []
+        assert result.fingerprint() == local.fingerprint()
+
+
+class TestAdoptIncumbent:
+    """Unit seam: the portfolio-side half of cross-host exchange."""
+
+    def _run(self, seed=13):
+        job = fast_job()
+        circuit = build_cases(job, ["ghz_5"])["ghz_5"]
+        return case_optimizer(job, seed).start(circuit), circuit
+
+    def test_adopts_strict_improvement_and_carries_the_bound(self):
+        from repro.circuits import Circuit
+
+        run, circuit = self._run()
+        try:
+            run.step_round()
+            # A strictly better "incumbent" at a known accumulated error:
+            # the empty circuit costs 0 under any gate-count objective.
+            bait = Circuit(circuit.num_qubits)
+            assert run.adopt_incumbent(bait, error=0.125)
+            assert run.incumbent_cost == 0.0
+            assert run.incumbent_error == 0.125
+            assert run.best_worker is None
+            # The bound travels into the merged result unchanged.
+            assert run.result().error_bound == 0.125
+        finally:
+            run.close()
+
+    def test_rejects_non_improvements(self):
+        run, circuit = self._run()
+        try:
+            run.step_round()
+            cost = run.incumbent_cost
+            error = run.incumbent_error
+            # Same circuit (ties) and worse circuits must both be refused,
+            # and refusal must not touch the incumbent record.
+            assert not run.adopt_incumbent(run.incumbent_circuit, error=0.5)
+            assert not run.adopt_incumbent(circuit, error=0.5)
+            assert run.incumbent_cost == cost
+            assert run.incumbent_error == error
+        finally:
+            run.close()
+
+
 class TestCrossHostCache:
     def test_tcp_cache_reports_cross_host_remote_hits(self):
         server, address = start_tcp_cache_server()
@@ -329,9 +514,75 @@ class TestDeterministicFailureGuards:
         )
         agent.start()
         try:
-            with pytest.raises(RuntimeError, match="failed on 2 host assignments"):
+            # max_shard_attempts=2 promises two *re-queue retries*, so the
+            # run must only abort after the third assignment fails — and the
+            # fatal message must name what was still outstanding.
+            with pytest.raises(
+                RuntimeError,
+                match=r"failed on 3 host assignments \(1 initial \+ 2 re-queue retries\)",
+            ) as aborted:
                 coordinator.join(timeout=90.0)
+            assert "still outstanding: [ghz_5#r0] in plan shards [0]" in str(aborted.value)
         finally:
             agent.join(timeout=30.0)
             if agent.is_alive():  # pragma: no cover - hung agent cleanup
                 agent.terminate()
+
+
+class TestNoDeprecatedCacheSpellings:
+    """Distrib and serve must not lean on legacy cache spellings.
+
+    ``case_optimizer`` historically passed ``resynthesis_cache=True`` — a
+    spelling :func:`repro.perf.parse_backend_spec` only still accepts with a
+    :class:`DeprecationWarning`.  These tests run the real distrib and serve
+    execution paths (resynthesis on, so the cache argument is actually
+    exercised) with ``DeprecationWarning`` promoted to an error, matching a
+    ``-W error::DeprecationWarning`` interpreter.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _deprecations_are_errors(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            yield
+
+    def test_case_optimizer_and_run_local_are_warning_clean(self):
+        job = fast_job(
+            include_resynthesis=True,
+            max_iterations=10,
+            synthesis_time_budget=0.2,
+        )
+        # Construction is where the cache argument is spelled out ...
+        optimizer = case_optimizer(job, seed=3)
+        assert optimizer is not None
+        # ... and a full local plan execution covers the whole distrib path.
+        plan = make_shard_plan(["ghz_5"], num_shards=1, root_seed=3)
+        result = run_local(job, plan)
+        assert len(result.cases) == 1
+
+    def test_serve_scheduler_is_warning_clean(self):
+        from repro.circuits import Circuit
+        from repro.serve import JobScheduler, JobSpec
+
+        circuit = Circuit(2, name="pair")
+        circuit.h(0).h(0).cx(0, 1).cx(0, 1).t(1)
+        scheduler = JobScheduler()
+        try:
+            job_id = scheduler.submit(
+                JobSpec(
+                    circuit=circuit,
+                    seed=5,
+                    max_iterations=20,
+                    num_workers=1,
+                    exchange_interval=10,
+                    include_resynthesis=True,
+                    synthesis_time_budget=0.2,
+                    time_limit=120.0,
+                )
+            )
+            scheduler.run_until_idle()
+            assert scheduler.status(job_id).state == "done"
+        finally:
+            scheduler.close()

@@ -24,13 +24,15 @@ from repro.core import (
     rewrite_transformations,
 )
 from repro.distrib import (
+    CaseRun,
     Coordinator,
     DistributedJob,
     make_shard_plan,
+    result_fingerprint,
     run_host_agent,
     start_tcp_cache_server,
 )
-from repro.distrib.worker import HostAgent, distrib_authkey
+from repro.distrib.worker import HostAgent, build_cases, case_optimizer, distrib_authkey
 from repro.gatesets import CLIFFORD_T
 from repro.parallel import PortfolioConfig, PortfolioOptimizer
 from repro.perf import LocalBackend, ResynthesisCache, TcpCacheBackend
@@ -419,13 +421,108 @@ class TestAgentFaultPaths:
             connection.send(("welcome", {"shards": 1, "runs": 1}))
             op, _ = connection.recv()
             assert op == "next"
-            connection.send(("shard", (shard, job)))
+            connection.send(("assign", (0, shard.runs, job)))
             connection.close()
         vanished_at = time.monotonic()
         thread.join(timeout=20.0)
         elapsed = time.monotonic() - vanished_at
         assert not thread.is_alive(), "agent still running long after the coordinator died"
         assert elapsed < 20.0
+
+
+class TestExchangeAdoption:
+    """Drive a real agent with a scripted coordinator feeding it incumbents.
+
+    The scripted side answers every ``progress`` heartbeat with a known
+    global incumbent — an empty circuit (cost 0, unbeatable) at a
+    recognizable error bound — so the tests pin both halves of the exchange
+    contract without any cross-host timing: a non-anchor replica adopts it
+    and its merged bound is *exactly* the bound that travelled with the
+    circuit; the anchor replica (replica 0) refuses it and stays
+    bit-identical to a solo run of the same seed.
+    """
+
+    BAIT_ERROR = 0.125
+
+    def _exchange_job(self) -> DistributedJob:
+        return DistributedJob(
+            suite="ftqc",
+            scale="tiny",
+            include_resynthesis=False,
+            max_iterations=30,
+            num_workers=2,
+            exchange_interval=5,
+            cross_host_exchange=True,
+        )
+
+    def _drive_replica(self, replica: int):
+        """Run one ``ghz_5`` replica against the scripted coordinator."""
+        from multiprocessing.connection import Listener
+
+        job = self._exchange_job()
+        run = CaseRun("ghz_5", replica=replica, seed=13)
+        bait = Circuit(build_cases(job, ["ghz_5"])["ghz_5"].num_qubits)
+        result = None
+        heartbeats = 0
+        with Listener(("127.0.0.1", 0), authkey=distrib_authkey()) as listener:
+            agent = HostAgent(listener.address, poll_interval=0.05, connect_timeout=10.0)
+            thread = threading.Thread(target=agent.run, daemon=True)
+            thread.start()
+            connection = listener.accept()
+            op, _name = connection.recv()
+            assert op == "hello"
+            connection.send(("welcome", {"shards": 1, "runs": 1}))
+            op, _ = connection.recv()
+            assert op == "next"
+            connection.send(("assign", (0, (run,), job)))
+            while True:
+                op, payload = connection.recv()
+                if op == "progress":
+                    heartbeats += 1
+                    connection.send(
+                        (
+                            "ok",
+                            {
+                                "revoked": [],
+                                "incumbents": {
+                                    "ghz_5": (0.0, self.BAIT_ERROR, bait)
+                                },
+                            },
+                        )
+                    )
+                elif op == "case-result":
+                    _assignment_id, _key, result = payload
+                    connection.send(("ok", {}))
+                elif op == "next":
+                    connection.send(("done", None))
+                    break
+                else:  # pragma: no cover - protocol violation
+                    raise AssertionError(f"unexpected agent message {op!r}")
+            connection.close()
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+        assert heartbeats > 0, "exchange-on runs must heartbeat between rounds"
+        return agent, run, result
+
+    def test_non_anchor_replica_adopts_and_the_bound_travels(self):
+        agent, _run, result = self._drive_replica(replica=1)
+        assert agent.adopted >= 1
+        assert result is not None
+        assert result.best_cost == 0.0
+        # Soundness: the merged bound is the one that travelled with the
+        # adopted circuit — not the local trajectory's accumulated epsilon.
+        assert result.error_bound == self.BAIT_ERROR
+
+    def test_anchor_replica_never_adopts(self):
+        agent, run, result = self._drive_replica(replica=0)
+        assert agent.adopted == 0
+        assert result is not None
+        assert result.error_bound == 0.0
+        # Refusing the bait keeps the anchor bit-identical to a solo run of
+        # the same seed — the cluster-level "one unperturbed trajectory".
+        job = self._exchange_job()
+        solo = case_optimizer(job, run.seed).optimize(build_cases(job, ["ghz_5"])["ghz_5"])
+        assert result_fingerprint(result) == result_fingerprint(solo)
 
 
 class TestCoordinatorHygiene:
